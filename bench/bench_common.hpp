@@ -1,0 +1,79 @@
+// Shared scaffolding for the figure-reproduction benches.
+#pragma once
+
+#include "ccsim.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace ccbench {
+
+using namespace ccsim;
+
+inline constexpr proto::Protocol kProtocols[] = {proto::Protocol::WI,
+                                                 proto::Protocol::PU,
+                                                 proto::Protocol::CU};
+
+/// "tk/i" style series label, matching the paper's bar labels ("tk", "MCS",
+/// "uc" x "i", "u", "c").
+inline std::string series_label(std::string_view algo, proto::Protocol p) {
+  std::string s{algo};
+  s += '/';
+  switch (p) {
+    case proto::Protocol::WI: s += 'i'; break;
+    case proto::Protocol::PU: s += 'u'; break;
+    case proto::Protocol::CU: s += 'c'; break;
+    case proto::Protocol::Hybrid: s += 'h'; break;
+  }
+  return s;
+}
+
+inline std::string_view lock_tag(harness::LockKind k) {
+  switch (k) {
+    case harness::LockKind::Ticket: return "tk";
+    case harness::LockKind::Mcs: return "MCS";
+    case harness::LockKind::UcMcs: return "uc";
+  }
+  return "?";
+}
+
+inline std::string_view barrier_tag(harness::BarrierKind k) {
+  switch (k) {
+    case harness::BarrierKind::Central: return "cb";
+    case harness::BarrierKind::Dissemination: return "db";
+    case harness::BarrierKind::Tree: return "tb";
+    case harness::BarrierKind::CombiningTree: return "ct";
+  }
+  return "?";
+}
+
+inline std::string_view reduction_tag(harness::ReductionKind k) {
+  return k == harness::ReductionKind::Parallel ? "pr" : "sr";
+}
+
+inline void print_table(const harness::Table& t, const harness::BenchOptions& o) {
+  if (o.csv)
+    t.print_csv(std::cout);
+  else
+    t.print(std::cout);
+}
+
+inline int bench_main(int argc, char** argv, const char* title,
+                      void (*body)(const harness::BenchOptions&)) {
+  try {
+    const harness::BenchOptions opts = harness::parse_bench_args(argc, argv);
+    if (!opts.csv) {
+      std::printf("%s\n", title);
+      std::printf("(scale=%.3g of the paper's iteration counts; --paper for full)\n\n",
+                  opts.scale);
+    }
+    body(opts);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+} // namespace ccbench

@@ -1,0 +1,42 @@
+// Figure 8: performance of spin locks in the synthetic program.
+//
+// Each processor acquires the lock, holds it for 50 cycles, releases, in a
+// tight loop (32000/P iterations). Reported: the average latency of an
+// acquire-release pair = execution_time / 32000 - 50, per machine size,
+// for ticket / MCS / update-conscious-MCS under WI / PU / CU.
+#include "bench_common.hpp"
+
+using namespace ccbench;
+
+namespace {
+
+void body(const harness::BenchOptions& opts) {
+  std::vector<std::string> headers{"lock/proto"};
+  for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
+  harness::Table t(std::move(headers));
+
+  for (harness::LockKind k :
+       {harness::LockKind::Ticket, harness::LockKind::Mcs, harness::LockKind::UcMcs}) {
+    for (proto::Protocol proto : kProtocols) {
+      std::vector<std::string> row{series_label(lock_tag(k), proto)};
+      for (unsigned p : opts.procs) {
+        harness::MachineConfig cfg;
+        cfg.protocol = proto;
+        cfg.nprocs = p;
+        harness::LockParams params;
+        params.total_acquires = opts.scaled(32000);
+        const auto r = harness::run_lock_experiment(cfg, k, params);
+        row.push_back(harness::Table::num(r.avg_latency, 1));
+      }
+      t.add_row(std::move(row));
+    }
+  }
+  print_table(t, opts);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(argc, argv,
+                    "Figure 8: average acquire-release latency (cycles)", body);
+}

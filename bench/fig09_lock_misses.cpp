@@ -1,0 +1,38 @@
+// Figure 9: miss traffic of spin locks in the synthetic program (32 procs).
+//
+// Categorized cache misses (cold / true / false sharing / eviction / drop)
+// plus exclusive-request transactions, for each lock/protocol combination.
+#include "bench_common.hpp"
+
+using namespace ccbench;
+
+namespace {
+
+void body(const harness::BenchOptions& opts) {
+  std::vector<std::string> headers{"lock/proto"};
+  for (const auto& h : harness::miss_headers()) headers.push_back(h);
+  harness::Table t(std::move(headers));
+
+  const unsigned p = opts.procs.back();
+  for (harness::LockKind k :
+       {harness::LockKind::Ticket, harness::LockKind::Mcs, harness::LockKind::UcMcs}) {
+    for (proto::Protocol proto : kProtocols) {
+      harness::MachineConfig cfg;
+      cfg.protocol = proto;
+      cfg.nprocs = p;
+      harness::LockParams params;
+      params.total_acquires = opts.scaled(32000);
+      const auto r = harness::run_lock_experiment(cfg, k, params);
+      std::vector<std::string> row{series_label(lock_tag(k), proto)};
+      for (auto& cell : harness::miss_cells(r.counters.misses)) row.push_back(cell);
+      t.add_row(std::move(row));
+    }
+  }
+  print_table(t, opts);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(argc, argv, "Figure 9: lock cache-miss traffic at P=32", body);
+}

@@ -1,0 +1,41 @@
+// Figure 11: performance of barriers in the synthetic program.
+//
+// Processors pass a barrier in a tight loop (5000 episodes); reported is
+// the average episode latency (execution_time / episodes) per machine
+// size, for centralized / dissemination / tree barriers under WI / PU / CU.
+#include "bench_common.hpp"
+
+using namespace ccbench;
+
+namespace {
+
+void body(const harness::BenchOptions& opts) {
+  std::vector<std::string> headers{"barrier/proto"};
+  for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
+  harness::Table t(std::move(headers));
+
+  for (harness::BarrierKind k :
+       {harness::BarrierKind::Central, harness::BarrierKind::Dissemination,
+        harness::BarrierKind::Tree}) {
+    for (proto::Protocol proto : kProtocols) {
+      std::vector<std::string> row{series_label(barrier_tag(k), proto)};
+      for (unsigned p : opts.procs) {
+        harness::MachineConfig cfg;
+        cfg.protocol = proto;
+        cfg.nprocs = p;
+        const auto r = harness::run_barrier_experiment(cfg, k,
+                                                       {opts.scaled(5000)});
+        row.push_back(harness::Table::num(r.avg_latency, 1));
+      }
+      t.add_row(std::move(row));
+    }
+  }
+  print_table(t, opts);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(argc, argv, "Figure 11: average barrier episode latency (cycles)",
+                    body);
+}

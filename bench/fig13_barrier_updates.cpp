@@ -1,0 +1,35 @@
+// Figure 13: update traffic of barriers in the synthetic program (32
+// procs), PU and CU only.
+#include "bench_common.hpp"
+
+using namespace ccbench;
+
+namespace {
+
+void body(const harness::BenchOptions& opts) {
+  std::vector<std::string> headers{"barrier/proto"};
+  for (const auto& h : harness::update_headers()) headers.push_back(h);
+  harness::Table t(std::move(headers));
+
+  const unsigned p = opts.procs.back();
+  for (harness::BarrierKind k :
+       {harness::BarrierKind::Central, harness::BarrierKind::Dissemination,
+        harness::BarrierKind::Tree}) {
+    for (proto::Protocol proto : {proto::Protocol::PU, proto::Protocol::CU}) {
+      harness::MachineConfig cfg;
+      cfg.protocol = proto;
+      cfg.nprocs = p;
+      const auto r = harness::run_barrier_experiment(cfg, k, {opts.scaled(5000)});
+      std::vector<std::string> row{series_label(barrier_tag(k), proto)};
+      for (auto& cell : harness::update_cells(r.counters.updates)) row.push_back(cell);
+      t.add_row(std::move(row));
+    }
+  }
+  print_table(t, opts);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(argc, argv, "Figure 13: barrier update traffic at P=32", body);
+}

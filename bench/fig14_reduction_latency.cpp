@@ -1,0 +1,42 @@
+// Figure 14: performance of reductions in the synthetic program.
+//
+// Each processor performs 5000 max-reductions in a tight loop,
+// synchronized by zero-traffic (magic) lock/barrier so only the
+// reduction's own communication is measured. Reported: the average
+// latency of a whole reduction (execution_time / rounds), for parallel
+// vs sequential reductions under WI / PU / CU.
+#include "bench_common.hpp"
+
+using namespace ccbench;
+
+namespace {
+
+void body(const harness::BenchOptions& opts) {
+  std::vector<std::string> headers{"red/proto"};
+  for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
+  harness::Table t(std::move(headers));
+
+  for (harness::ReductionKind k :
+       {harness::ReductionKind::Sequential, harness::ReductionKind::Parallel}) {
+    for (proto::Protocol proto : kProtocols) {
+      std::vector<std::string> row{series_label(reduction_tag(k), proto)};
+      for (unsigned p : opts.procs) {
+        harness::MachineConfig cfg;
+        cfg.protocol = proto;
+        cfg.nprocs = p;
+        harness::ReductionParams params;
+        params.rounds = opts.scaled(5000);
+        const auto r = harness::run_reduction_experiment(cfg, k, params);
+        row.push_back(harness::Table::num(r.avg_latency, 1));
+      }
+      t.add_row(std::move(row));
+    }
+  }
+  print_table(t, opts);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(argc, argv, "Figure 14: average reduction latency (cycles)", body);
+}

@@ -1,0 +1,97 @@
+// Host-performance micro-benchmarks of the simulator's hot paths
+// (google-benchmark): event kernel throughput, network send/deliver,
+// cache lookups, and end-to-end simulated-cycles-per-host-second.
+#include "ccsim.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace ccsim;
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 1000) q.schedule(1, chain);
+    };
+    q.schedule(1, chain);
+    q.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_EventQueueFanOut(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) q.schedule_at(static_cast<Cycle>(i % 64), [] {});
+    q.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueFanOut)->Arg(1024)->Arg(16384);
+
+void BM_NetworkSend(benchmark::State& state) {
+  struct Sink final : net::MessageSink {
+    void deliver(const net::Message&) override {}
+  };
+  sim::EventQueue q;
+  net::Network net(q, net::MeshTopology(32), {}, nullptr);
+  Sink sink;
+  for (NodeId i = 0; i < 32; ++i) net.attach(i, sink);
+  net::Message m;
+  m.type = net::MsgType::Update;
+  m.addr = mem::kSharedBase;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    m.src = static_cast<NodeId>(i % 32);
+    m.dst = static_cast<NodeId>((i * 7 + 3) % 32);
+    net.send(m);
+    ++i;
+    if (i % 4096 == 0) q.run();
+  }
+  q.run();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSend);
+
+void BM_CacheLookup(benchmark::State& state) {
+  mem::DataCache cache(64 * 1024);
+  for (mem::BlockAddr b = 0; b < 1024; ++b) {
+    auto& l = cache.set_for(b);
+    l.block = b;
+    l.state = mem::LineState::Shared;
+  }
+  std::uint64_t i = 0, hits = 0;
+  for (auto _ : state) {
+    hits += cache.find((i * 37) % 2048) != nullptr;
+    ++i;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_EndToEndLockWorkload(benchmark::State& state) {
+  // Simulated cycles per host-second for the densest workload we have.
+  std::uint64_t simulated = 0;
+  for (auto _ : state) {
+    harness::MachineConfig cfg;
+    cfg.protocol = proto::Protocol::CU;
+    cfg.nprocs = 16;
+    const auto r = harness::run_lock_experiment(cfg, harness::LockKind::Ticket,
+                                                {.total_acquires = 1600});
+    simulated += r.cycles;
+  }
+  state.counters["sim_cycles"] =
+      benchmark::Counter(static_cast<double>(simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndLockWorkload)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Protocol explorer: run any construct under any protocol at any machine
+// size and print the latency plus full categorized traffic -- the tool for
+// answering "which implementation should I use on THIS machine?"
+//
+//   $ ./protocol_explorer <lock|barrier|reduction> <impl> <WI|PU|CU> [P]
+//
+//   impl: ticket | mcs | ucmcs        (locks)
+//         central | dissem | tree     (barriers)
+//         parallel | sequential       (reductions)
+//
+//   $ ./protocol_explorer lock mcs CU 32
+//   $ ./protocol_explorer barrier dissem PU 16
+#include "ccsim.hpp"
+
+#include <iostream>
+#include <string>
+
+using namespace ccsim;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: protocol_explorer <lock|barrier|reduction> <impl> "
+               "<WI|PU|CU> [nprocs]\n"
+               "  lock impls:      ticket mcs ucmcs\n"
+               "  barrier impls:   central dissem tree\n"
+               "  reduction impls: parallel sequential\n";
+  return 1;
+}
+
+proto::Protocol parse_protocol(const std::string& s) {
+  if (s == "WI" || s == "wi") return proto::Protocol::WI;
+  if (s == "PU" || s == "pu") return proto::Protocol::PU;
+  if (s == "CU" || s == "cu") return proto::Protocol::CU;
+  throw std::invalid_argument("unknown protocol: " + s);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string family = argv[1];
+  const std::string impl = argv[2];
+
+  harness::MachineConfig cfg;
+  try {
+    cfg.protocol = parse_protocol(argv[3]);
+    cfg.nprocs = argc > 4 ? static_cast<unsigned>(std::stoul(argv[4])) : 32;
+
+    harness::RunResult r;
+    std::string metric;
+    if (family == "lock") {
+      harness::LockKind k;
+      if (impl == "ticket")
+        k = harness::LockKind::Ticket;
+      else if (impl == "mcs")
+        k = harness::LockKind::Mcs;
+      else if (impl == "ucmcs")
+        k = harness::LockKind::UcMcs;
+      else
+        return usage();
+      r = harness::run_lock_experiment(cfg, k, {.total_acquires = 3200});
+      metric = "avg acquire-release latency";
+    } else if (family == "barrier") {
+      harness::BarrierKind k;
+      if (impl == "central")
+        k = harness::BarrierKind::Central;
+      else if (impl == "dissem")
+        k = harness::BarrierKind::Dissemination;
+      else if (impl == "tree")
+        k = harness::BarrierKind::Tree;
+      else
+        return usage();
+      r = harness::run_barrier_experiment(cfg, k, {.episodes = 500});
+      metric = "avg barrier episode latency";
+    } else if (family == "reduction") {
+      harness::ReductionKind k;
+      if (impl == "parallel")
+        k = harness::ReductionKind::Parallel;
+      else if (impl == "sequential")
+        k = harness::ReductionKind::Sequential;
+      else
+        return usage();
+      r = harness::run_reduction_experiment(cfg, k, {.rounds = 500});
+      metric = "avg reduction latency";
+    } else {
+      return usage();
+    }
+
+    std::cout << family << "/" << impl << " under " << proto::to_string(cfg.protocol)
+              << " on " << cfg.nprocs << " processors\n";
+    std::cout << metric << ": " << r.avg_latency << " cycles\n";
+    std::cout << "total simulated cycles: " << r.cycles << "\n\n";
+    stats::print_report(std::cout, r.counters);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: build a 4-processor machine under the competitive-update
+// protocol, run a ticket-lock-protected shared counter, and print the run's
+// timing and categorized traffic.
+//
+//   $ ./quickstart
+#include "ccsim.hpp"
+
+#include <iostream>
+
+using namespace ccsim;
+
+int main() {
+  // 1. Configure the machine (paper defaults: 64 KB direct-mapped caches,
+  //    64 B blocks, 4-entry write buffers, CU threshold 4).
+  harness::MachineConfig cfg;
+  cfg.nprocs = 4;
+  cfg.protocol = proto::Protocol::CU;
+  harness::Machine m(cfg);
+
+  // 2. Allocate shared data and build a synchronization construct.
+  //    allocate_on() places data on a chosen home node (block-aligned).
+  const Addr counter = m.alloc().allocate_on(/*home=*/0, 8);
+  sync::TicketLock lock(m);
+
+  // 3. Write the per-processor program as a coroutine: every shared-memory
+  //    operation is a co_await with full protocol timing.
+  const int iters = 100;
+  const Cycle total = m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    for (int i = 0; i < iters; ++i) {
+      co_await lock.acquire(c);
+      const std::uint64_t v = co_await c.load(counter);
+      co_await c.store(counter, v + 1);
+      co_await lock.release(c);
+      co_await c.think(50);  // local work outside the critical section
+    }
+  });
+
+  // 4. Inspect the results.
+  std::cout << "final counter: " << m.peek(counter) << " (expected "
+            << iters * cfg.nprocs << ")\n";
+  std::cout << "simulated cycles: " << total << "\n\n";
+  stats::print_report(std::cout, m.counters());
+  return 0;
+}

@@ -1,0 +1,10 @@
+#include "cpu/cpu.hpp"
+
+namespace ccsim::cpu {
+
+sim::Task Cpu::store_release(Addr a, std::uint64_t v, std::size_t size) {
+  co_await fence();
+  co_await store(a, v, size);
+}
+
+} // namespace ccsim::cpu

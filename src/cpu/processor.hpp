@@ -1,0 +1,39 @@
+// One simulated processor: a Cpu bound to the root coroutine it runs.
+#pragma once
+
+#include "cpu/cpu.hpp"
+#include "sim/task.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace ccsim::cpu {
+
+class Processor {
+public:
+  Processor(NodeId id, sim::EventQueue& q, proto::CacheController& cc)
+      : cpu_(id, q, cc) {}
+
+  [[nodiscard]] Cpu& cpu() noexcept { return cpu_; }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Launch `program` as this processor's root task.
+  void run(const std::function<sim::Task(Cpu&)>& program,
+           std::function<void()> on_done) {
+    task_ = program(cpu_);
+    task_.start([this, cb = std::move(on_done)] {
+      done_ = true;
+      if (cb) cb();
+    });
+  }
+
+  /// Rethrow any exception the program body raised (checked after run).
+  void rethrow_if_failed() { task_.rethrow_if_failed(); }
+
+private:
+  Cpu cpu_;
+  sim::Task task_;
+  bool done_ = false;
+};
+
+} // namespace ccsim::cpu

@@ -1,0 +1,48 @@
+#include "harness/cli.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace ccsim::harness {
+
+namespace {
+std::vector<unsigned> parse_list(const std::string& s) {
+  std::vector<unsigned> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(static_cast<unsigned>(std::stoul(s.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("--procs needs at least one value");
+  return out;
+}
+} // namespace
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions o;
+  if (const char* env = std::getenv("REPRO_SCALE")) o.scale = std::atof(env);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--paper") {
+      o.scale = 1.0;
+    } else if (a.rfind("--scale=", 0) == 0) {
+      o.scale = std::atof(a.c_str() + 8);
+    } else if (a.rfind("--procs=", 0) == 0) {
+      o.procs = parse_list(a.substr(8));
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else if (a == "--help" || a == "-h") {
+      // handled by the bench's own usage text; ignore here
+    } else {
+      throw std::invalid_argument("unknown argument: " + a);
+    }
+  }
+  if (o.scale <= 0.0 || o.scale > 1.0)
+    throw std::invalid_argument("scale must be in (0, 1]");
+  return o;
+}
+
+} // namespace ccsim::harness

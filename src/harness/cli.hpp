@@ -1,0 +1,33 @@
+// Shared command-line handling for the bench binaries.
+//
+// Every figure bench accepts:
+//   --paper       run the paper's full iteration counts (32000 acquires,
+//                 5000 episodes/rounds); the default is a scaled-down run
+//                 whose steady-state averages match
+//   --scale=X     explicit scale factor (0 < X <= 1)
+//   --procs=a,b   override the machine-size sweep
+//   --csv         emit CSV instead of the aligned table
+// The REPRO_SCALE environment variable, if set, provides the default scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccsim::harness {
+
+struct BenchOptions {
+  double scale = 0.05;
+  bool csv = false;
+  std::vector<unsigned> procs{1, 2, 4, 8, 16, 32};
+
+  /// Apply the scale to one of the paper's iteration counts (>= 32).
+  [[nodiscard]] std::uint64_t scaled(std::uint64_t paper_count) const {
+    const auto n = static_cast<std::uint64_t>(static_cast<double>(paper_count) * scale);
+    return n < 32 ? 32 : n;
+  }
+};
+
+BenchOptions parse_bench_args(int argc, char** argv);
+
+} // namespace ccsim::harness

@@ -1,0 +1,85 @@
+#include "harness/figure.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace ccsim::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& r : rows_)
+    for (std::size_t i = 0; i < r.size() && i < width.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "" : "  ");
+      // left-align the first column (series name), right-align numbers
+      if (i == 0)
+        os << cells[i] << std::string(width[i] - cells[i].size(), ' ');
+      else
+        os << std::string(width[i] - cells[i].size(), ' ') << cells[i];
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < headers_.size(); ++i) total += width[i] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) line(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      os << (i == 0 ? "" : ",") << cells[i];
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& r : rows_) line(r);
+}
+
+const std::vector<unsigned>& paper_proc_counts() {
+  static const std::vector<unsigned> ps{1, 2, 4, 8, 16, 32};
+  return ps;
+}
+
+std::vector<std::string> miss_headers() {
+  return {"cold", "true", "false", "evict", "drop", "total", "excl-req"};
+}
+
+std::vector<std::string> miss_cells(const stats::MissCounts& m) {
+  using stats::MissClass;
+  return {Table::num(m[MissClass::Cold]),     Table::num(m[MissClass::TrueSharing]),
+          Table::num(m[MissClass::FalseSharing]), Table::num(m[MissClass::Eviction]),
+          Table::num(m[MissClass::Drop]),     Table::num(m.total()),
+          Table::num(m.exclusive_requests)};
+}
+
+std::vector<std::string> update_headers() {
+  return {"useful", "false", "prolif", "repl", "end", "drop", "total"};
+}
+
+std::vector<std::string> update_cells(const stats::UpdateCounts& u) {
+  using stats::UpdateClass;
+  return {Table::num(u[UpdateClass::TrueSharing]),  Table::num(u[UpdateClass::FalseSharing]),
+          Table::num(u[UpdateClass::Proliferation]), Table::num(u[UpdateClass::Replacement]),
+          Table::num(u[UpdateClass::Termination]),  Table::num(u[UpdateClass::Drop]),
+          Table::num(u.total())};
+}
+
+} // namespace ccsim::harness

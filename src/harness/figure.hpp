@@ -1,0 +1,43 @@
+// Small table / CSV formatting helpers for the figure-reproduction benches.
+#pragma once
+
+#include "stats/counters.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccsim::harness {
+
+/// Fixed-width text table, printed in the style of the paper's figures
+/// (one series per row, one machine size / category per column).
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::uint64_t v);
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// The machine sizes the paper sweeps.
+[[nodiscard]] const std::vector<unsigned>& paper_proc_counts();
+
+/// Cells for a categorized miss breakdown (cold/true/false/evict/drop + excl).
+[[nodiscard]] std::vector<std::string> miss_cells(const stats::MissCounts& m);
+[[nodiscard]] std::vector<std::string> miss_headers();
+
+/// Cells for a categorized update breakdown (useful/false/prolif/end/drop;
+/// the replacement column is included for completeness -- the paper notes
+/// it was never observed, which our runs reproduce).
+[[nodiscard]] std::vector<std::string> update_cells(const stats::UpdateCounts& u);
+[[nodiscard]] std::vector<std::string> update_headers();
+
+} // namespace ccsim::harness

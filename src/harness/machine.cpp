@@ -1,0 +1,100 @@
+#include "harness/machine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace ccsim::harness {
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg),
+      trace_(cfg.trace ? std::make_unique<sim::TraceLog>() : nullptr),
+      alloc_(cfg.nprocs),
+      misses_(cfg.nprocs, counters_),
+      updates_(cfg.nprocs, counters_),
+      net_(q_, net::MeshTopology(cfg.nprocs), cfg.net, &counters_.net),
+      ctx_{q_,        net_,       alloc_,           counters_,    misses_,
+           updates_,  cfg.nprocs, cfg.cu_threshold, trace_.get(), cfg.consistency,
+           cfg.hybrid_default} {
+  nodes_.reserve(cfg_.nprocs);
+  procs_.reserve(cfg_.nprocs);
+  for (NodeId i = 0; i < cfg_.nprocs; ++i) {
+    nodes_.push_back(std::make_unique<proto::Node>(cfg_.protocol, i, ctx_,
+                                                   cfg_.cache_bytes, cfg_.wb_entries,
+                                                   cfg_.timings));
+    net_.attach(i, *nodes_.back());
+    procs_.push_back(std::make_unique<cpu::Processor>(i, q_, nodes_[i]->cache_ctrl()));
+  }
+}
+
+Cycle Machine::run(const std::vector<Program>& programs) {
+  if (ran_) throw std::logic_error("Machine::run may only be called once");
+  ran_ = true;
+  if (programs.size() > cfg_.nprocs)
+    throw std::invalid_argument("more programs than processors");
+
+  unsigned remaining = static_cast<unsigned>(programs.size());
+  for (std::size_t i = 0; i < programs.size(); ++i)
+    procs_[i]->run(programs[i], [&remaining] { --remaining; });
+
+  const bool drained = q_.run_until(cfg_.max_cycles);
+  for (auto& p : procs_) p->rethrow_if_failed();
+  if (remaining != 0) {
+    std::string msg =
+        drained ? "simulation deadlock: event queue drained with programs waiting"
+                : "simulation exceeded max_cycles";
+    msg += " (";
+    msg += std::to_string(remaining);
+    msg += " of ";
+    msg += std::to_string(programs.size());
+    msg += " programs unfinished; stuck:";
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      if (!procs_[i]->done()) {
+        msg += ' ';
+        msg += std::to_string(i);
+      }
+    }
+    msg += ')';
+    if (trace_) {
+      msg += "\nlast trace events:\n";
+      msg += trace_->tail(40);
+    }
+    throw std::runtime_error(msg);
+  }
+  updates_.finalize(q_.now());
+  return q_.now();
+}
+
+Cycle Machine::run_all(const Program& program) {
+  std::vector<Program> ps(cfg_.nprocs, program);
+  return run(ps);
+}
+
+void Machine::poke(Addr addr, std::uint64_t value, std::size_t size) {
+  assert(mem::is_shared(addr));
+  const mem::BlockAddr b = mem::block_of(addr);
+  const NodeId home = alloc_.home_of(b);
+  nodes_[home]->home_ctrl().memory_for(b).write_word(addr, size, value);
+}
+
+void Machine::bind_protocol(Addr addr, std::size_t size, proto::Protocol p) {
+  if (cfg_.protocol != proto::Protocol::Hybrid)
+    throw std::logic_error("bind_protocol requires Protocol::Hybrid");
+  alloc_.set_domain(addr, size, proto::domain_of_protocol(p));
+}
+
+std::uint64_t Machine::peek(Addr addr, std::size_t size) {
+  const mem::BlockAddr b = mem::block_of(addr);
+  const NodeId home = alloc_.home_of(b);
+  auto& hc = nodes_[home]->home_ctrl();
+  // A dirty copy (WI Exclusive / PU Private) holds the freshest data.
+  if (const mem::DirEntry* e = hc.directory_for(b).find(b);
+      e && (e->state == mem::DirState::Exclusive || e->state == mem::DirState::Private) &&
+      e->owner != kInvalidNode) {
+    if (nodes_[e->owner]->cache_ctrl().cache_for(b).find(b))
+      return nodes_[e->owner]->cache_ctrl().cache_for(b).read(addr, size);
+  }
+  return hc.memory_for(b).read_word(addr, size);
+}
+
+} // namespace ccsim::harness

@@ -1,0 +1,96 @@
+// Machine: builds and runs one simulated multiprocessor.
+//
+// Wires together the event kernel, network, per-node cache/home controllers
+// for the chosen protocol, the traffic classifiers, and one processor per
+// node; runs a set of coroutine programs to completion and reports cycles
+// and categorized traffic.
+#pragma once
+
+#include "cpu/processor.hpp"
+#include "net/network.hpp"
+#include "proto/hybrid.hpp"
+#include "proto/node.hpp"
+#include "proto/protocol.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/counters.hpp"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace ccsim::harness {
+
+struct MachineConfig {
+  unsigned nprocs = 32;
+  proto::Protocol protocol = proto::Protocol::WI;
+  std::size_t cache_bytes = 64 * 1024;  ///< direct-mapped, 64 B blocks
+  std::size_t wb_entries = 4;
+  unsigned cu_threshold = 4;  ///< competitive-update invalidation threshold
+  mem::MemTimings timings{};
+  net::Network::Params net{};
+  /// Hybrid machines: protocol for regions without a bind_protocol tag.
+  proto::Protocol hybrid_default = proto::Protocol::WI;
+  /// Abort the run if simulated time exceeds this (deadlock backstop).
+  Cycle max_cycles = 4'000'000'000ULL;
+  /// Attach a structured trace (ring of recent protocol events, appended
+  /// to deadlock reports; see Machine::trace() to echo it live).
+  bool trace = false;
+  /// Memory consistency model (the paper's machine is release consistent).
+  proto::Consistency consistency = proto::Consistency::Release;
+};
+
+class Machine {
+public:
+  using Program = std::function<sim::Task(cpu::Cpu&)>;
+
+  explicit Machine(MachineConfig cfg);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Run one program per processor (programs.size() <= nprocs) until all
+  /// complete; classifies remaining update lifetimes as termination.
+  /// Returns the total simulated cycles. Throws on deadlock or timeout.
+  Cycle run(const std::vector<Program>& programs);
+
+  /// Convenience: the same program body on every processor.
+  Cycle run_all(const Program& program);
+
+  /// Initialize simulated shared memory before the run (no traffic).
+  void poke(Addr addr, std::uint64_t value, std::size_t size = mem::kWordSize);
+
+  /// Hybrid machines (protocol == Protocol::Hybrid): bind every block of
+  /// [addr, addr+size) to a coherence protocol. Regions left unbound use
+  /// MachineConfig::hybrid_default. Must be called before the run and
+  /// never across a block already bound differently.
+  void bind_protocol(Addr addr, std::size_t size, proto::Protocol p);
+
+  /// Read simulated shared memory after the run (home memory; for checking
+  /// results the coherence protocol must have made globally visible).
+  [[nodiscard]] std::uint64_t peek(Addr addr, std::size_t size = mem::kWordSize);
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] sim::EventQueue& queue() noexcept { return q_; }
+  [[nodiscard]] mem::SharedAllocator& alloc() noexcept { return alloc_; }
+  [[nodiscard]] stats::Counters& counters() noexcept { return counters_; }
+  [[nodiscard]] cpu::Cpu& cpu(NodeId i) { return procs_.at(i)->cpu(); }
+  [[nodiscard]] proto::Node& node(NodeId i) { return *nodes_.at(i); }
+  [[nodiscard]] unsigned nprocs() const noexcept { return cfg_.nprocs; }
+  /// The attached trace log, or nullptr when MachineConfig::trace is off.
+  [[nodiscard]] sim::TraceLog* trace() noexcept { return trace_.get(); }
+
+private:
+  MachineConfig cfg_;
+  sim::EventQueue q_;
+  std::unique_ptr<sim::TraceLog> trace_;
+  stats::Counters counters_;
+  mem::SharedAllocator alloc_;
+  stats::MissClassifier misses_;
+  stats::UpdateClassifier updates_;
+  net::Network net_;
+  proto::ProtocolContext ctx_;
+  std::vector<std::unique_ptr<proto::Node>> nodes_;
+  std::vector<std::unique_ptr<cpu::Processor>> procs_;
+  bool ran_ = false;
+};
+
+} // namespace ccsim::harness

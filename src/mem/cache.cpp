@@ -1,0 +1,40 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace ccsim::mem {
+
+DataCache::DataCache(std::size_t size_bytes) {
+  const std::size_t sets = size_bytes / kBlockSize;
+  assert(std::has_single_bit(sets) && "cache size must give a power-of-two set count");
+  lines_.resize(sets);
+}
+
+std::uint64_t DataCache::read(Addr addr, std::size_t size) const {
+  assert(within_word(addr, size));
+  const CacheLine& l = set_for(block_of(addr));
+  assert(l.valid() && l.block == block_of(addr));
+  std::uint64_t v = 0;
+  std::memcpy(&v, l.data.data() + offset_of(addr), size);
+  return v;
+}
+
+void DataCache::write(Addr addr, std::size_t size, std::uint64_t value) {
+  assert(within_word(addr, size));
+  CacheLine& l = set_for(block_of(addr));
+  assert(l.valid() && l.block == block_of(addr));
+  std::memcpy(l.data.data() + offset_of(addr), &value, size);
+}
+
+void DataCache::notify(BlockAddr b) {
+  auto it = watchers_.find(b);
+  if (it == watchers_.end()) return;
+  // Move out first: a watcher may re-subscribe synchronously.
+  std::vector<std::function<void()>> fns = std::move(it->second);
+  watchers_.erase(it);
+  for (auto& fn : fns) fn();
+}
+
+} // namespace ccsim::mem

@@ -1,0 +1,48 @@
+#include "mem/memory_module.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace ccsim::mem {
+
+Cycle MemoryModule::service_time(AccessKind kind) const noexcept {
+  switch (kind) {
+    case AccessKind::BlockRead: return timings_.block_read;
+    case AccessKind::BlockWrite: return timings_.block_write;
+    case AccessKind::WordRead: return timings_.word_read;
+    case AccessKind::WordWrite: return timings_.word_write;
+    case AccessKind::DirOnly: return timings_.dir_op;
+  }
+  return 1;
+}
+
+Cycle MemoryModule::book(Cycle now, AccessKind kind) {
+  const Cycle start = std::max(now, busy_until_);
+  busy_until_ = start + service_time(kind);
+  return busy_until_;
+}
+
+std::uint64_t MemoryModule::read_word(Addr addr, std::size_t size) const {
+  assert(within_word(addr, size));
+  auto& blk = store_[block_of(addr)];  // zero-init on first touch
+  std::uint64_t v = 0;
+  std::memcpy(&v, blk.data() + offset_of(addr), size);
+  return v;
+}
+
+void MemoryModule::write_word(Addr addr, std::size_t size, std::uint64_t value) {
+  assert(within_word(addr, size));
+  auto& blk = store_[block_of(addr)];
+  std::memcpy(blk.data() + offset_of(addr), &value, size);
+}
+
+const std::array<std::byte, kBlockSize>& MemoryModule::read_block(BlockAddr b) {
+  return store_[b];
+}
+
+void MemoryModule::write_block(BlockAddr b, const std::array<std::byte, kBlockSize>& data) {
+  store_[b] = data;
+}
+
+} // namespace ccsim::mem

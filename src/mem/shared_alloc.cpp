@@ -1,0 +1,47 @@
+#include "mem/shared_alloc.hpp"
+
+#include <cassert>
+
+namespace ccsim::mem {
+
+namespace {
+Addr align_up(Addr a, std::size_t align) {
+  return (a + align - 1) / align * align;
+}
+} // namespace
+
+Addr SharedAllocator::allocate(std::size_t size, std::size_t align) {
+  assert(size > 0);
+  next_ = align_up(next_, align);
+  const Addr a = next_;
+  next_ += size;
+  return a;
+}
+
+Addr SharedAllocator::allocate_on(NodeId home, std::size_t size) {
+  assert(home < nodes_);
+  assert(size > 0);
+  next_ = align_up(next_, kBlockSize);
+  const Addr a = next_;
+  next_ = align_up(next_ + size, kBlockSize);
+  for (BlockAddr b = block_of(a); b < block_of(next_ - 1) + 1; ++b) placed_[b] = home;
+  return a;
+}
+
+void SharedAllocator::set_domain(Addr start, std::size_t size, std::uint8_t domain) {
+  assert(size > 0);
+  for (BlockAddr b = block_of(start); b <= block_of(start + size - 1); ++b)
+    domains_[b] = domain;
+}
+
+std::uint8_t SharedAllocator::domain_of(BlockAddr b) const {
+  auto it = domains_.find(b);
+  return it == domains_.end() ? 0 : it->second;
+}
+
+NodeId SharedAllocator::home_of(BlockAddr b) const {
+  if (auto it = placed_.find(b); it != placed_.end()) return it->second;
+  return static_cast<NodeId>(b % nodes_);
+}
+
+} // namespace ccsim::mem

@@ -1,0 +1,30 @@
+#include "mem/write_buffer.hpp"
+
+namespace ccsim::mem {
+
+std::optional<std::uint64_t> WriteBuffer::forward(Addr addr, std::size_t size) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->addr == addr && it->size == size) return it->value;
+  }
+  return std::nullopt;
+}
+
+bool WriteBuffer::contains_block(BlockAddr b) const {
+  for (const auto& e : entries_) {
+    if (block_of(e.addr) == b) return true;
+  }
+  return false;
+}
+
+bool WriteBuffer::partially_overlaps(Addr addr, std::size_t size) const {
+  const Addr lo = addr, hi = addr + size;
+  for (const auto& e : entries_) {
+    const Addr elo = e.addr, ehi = e.addr + e.size;
+    const bool overlap = elo < hi && lo < ehi;
+    const bool exact = e.addr == addr && e.size == size;
+    if (overlap && !exact) return true;
+  }
+  return false;
+}
+
+} // namespace ccsim::mem

@@ -1,0 +1,82 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccsim::net {
+
+Network::Network(sim::EventQueue& q, MeshTopology topo, Params params,
+                 stats::NetCounters* counters)
+    : q_(q),
+      topo_(topo),
+      params_(params),
+      counters_(counters),
+      sinks_(topo.count(), nullptr),
+      inject_free_(topo.count(), 0),
+      eject_free_(topo.count(), 0),
+      link_free_(params.link_contention
+                     ? static_cast<std::size_t>(topo.count()) * topo.count()
+                     : 0,
+                 0) {}
+
+void Network::attach(NodeId n, MessageSink& sink) {
+  assert(n < sinks_.size());
+  sinks_[n] = &sink;
+}
+
+void Network::send(const Message& msg) {
+  assert(msg.src < sinks_.size() && msg.dst < sinks_.size());
+  MessageSink* sink = sinks_[msg.dst];
+  assert(sink && "destination node has no sink attached");
+
+  if (counters_) ++counters_->by_type[static_cast<std::size_t>(msg.type)];
+  if (msg.src == msg.dst) {
+    if (counters_) ++counters_->local;
+    q_.schedule(params_.local_latency, [sink, msg] { sink->deliver(msg); });
+    return;
+  }
+
+  const std::size_t bytes = msg.wire_bytes();
+  const Cycle flits =
+      static_cast<Cycle>((bytes + params_.flit_bytes - 1) / params_.flit_bytes);
+  const unsigned hops = topo_.hops(msg.src, msg.dst);
+
+  // Source port: the tail flit leaves `flits` cycles after injection starts.
+  const Cycle start = std::max(q_.now(), inject_free_[msg.src]);
+  inject_free_[msg.src] = start + flits;
+
+  // Flight: each switch delays the header by switch_delay cycles; with
+  // link contention on, the header also waits for each channel of the
+  // dimension-ordered route, and the flit stream then occupies it.
+  Cycle head_arrival;
+  if (params_.link_contention) {
+    Cycle head = start;
+    NodeId at = msg.src;
+    while (at != msg.dst) {
+      const NodeId next = topo_.next_hop(at, msg.dst);
+      Cycle& busy = link_free_[static_cast<std::size_t>(at) * topo_.count() + next];
+      head = std::max(head + params_.switch_delay, busy);
+      busy = head + flits;
+      at = next;
+    }
+    head_arrival = head;
+  } else {
+    head_arrival = start + params_.switch_delay * hops;
+  }
+
+  // Destination port: ejection serializes; the message is delivered when its
+  // tail flit has been ejected.
+  const Cycle eject_start = std::max(head_arrival, eject_free_[msg.dst]);
+  const Cycle delivered = eject_start + flits;
+  eject_free_[msg.dst] = delivered;
+
+  if (counters_) {
+    ++counters_->messages;
+    counters_->flits += flits;
+    counters_->hops += hops;
+  }
+
+  q_.schedule_at(delivered, [sink, msg] { sink->deliver(msg); });
+}
+
+} // namespace ccsim::net

@@ -1,0 +1,70 @@
+// Network model: wormhole mesh with contention at the endpoints.
+//
+// Per the paper (section 3.1): the network runs at the processor clock, the
+// datapath is 16 bits wide (one flit = 2 bytes), each switch adds 2 cycles
+// to the header, and contention is modeled only at the source and
+// destination of messages. Between one (source, destination) pair delivery
+// is FIFO: injection serializes at the source port and ejection at the
+// destination port, so reordering is impossible -- the update protocols'
+// same-word ordering relies on this.
+#pragma once
+
+#include "net/message.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/counters.hpp"
+
+#include <vector>
+
+namespace ccsim::net {
+
+/// Receiver of delivered messages; each node registers one.
+class MessageSink {
+public:
+  virtual ~MessageSink() = default;
+  virtual void deliver(const Message& msg) = 0;
+};
+
+class Network {
+public:
+  struct Params {
+    Cycle switch_delay = 2;       ///< per-hop header latency
+    std::size_t flit_bytes = 2;   ///< 16-bit datapath
+    Cycle local_latency = 1;      ///< node-internal delivery (no network)
+    /// Model wormhole channel contention on every link of the
+    /// dimension-ordered route, not just at the endpoints. The paper's
+    /// machine models source/destination contention only (section 3.1);
+    /// turning this on shows how much its conclusions depend on that
+    /// simplification (see bench/abl_network_contention).
+    bool link_contention = false;
+  };
+
+  Network(sim::EventQueue& q, MeshTopology topo, Params params,
+          stats::NetCounters* counters = nullptr);
+
+  /// Register the receiver for messages addressed to node `n`.
+  void attach(NodeId n, MessageSink& sink);
+
+  /// Inject a message. Delivery is scheduled on the event queue with full
+  /// endpoint contention accounting.
+  void send(const Message& msg);
+
+  [[nodiscard]] const MeshTopology& topology() const noexcept { return topo_; }
+
+  /// Earliest cycle at which node n's injection port is free (testing aid).
+  [[nodiscard]] Cycle inject_free_at(NodeId n) const { return inject_free_[n]; }
+
+private:
+  sim::EventQueue& q_;
+  MeshTopology topo_;
+  Params params_;
+  stats::NetCounters* counters_;
+  std::vector<MessageSink*> sinks_;
+  std::vector<Cycle> inject_free_;
+  std::vector<Cycle> eject_free_;
+  /// link_contention: busy-until per directed link, indexed
+  /// [from * count + to-of-adjacent-hop].
+  std::vector<Cycle> link_free_;
+};
+
+} // namespace ccsim::net

@@ -1,0 +1,47 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace ccsim::net {
+
+MeshTopology::MeshTopology(unsigned count) {
+  assert(count >= 1);
+  // Pick X >= Y with X*Y >= count and X/Y <= 2 where possible, preferring
+  // powers of two (the paper's 32-node machine is an 8x4 mesh).
+  unsigned x = 1, y = 1;
+  while (x * y < count) {
+    if (x <= y)
+      x *= 2;
+    else
+      y *= 2;
+  }
+  x_ = x;
+  y_ = y;
+  count_ = count;
+}
+
+MeshTopology::MeshTopology(unsigned x, unsigned y) : x_(x), y_(y), count_(x * y) {
+  assert(x >= 1 && y >= 1);
+}
+
+NodeId MeshTopology::next_hop(NodeId from, NodeId to) const noexcept {
+  auto [fx, fy] = coords(from);
+  auto [tx, ty] = coords(to);
+  if (fx != tx) {
+    const unsigned nx = fx < tx ? fx + 1 : fx - 1;
+    return static_cast<NodeId>(fy * x_ + nx);
+  }
+  const unsigned ny = fy < ty ? fy + 1 : fy - 1;
+  return static_cast<NodeId>(ny * x_ + fx);
+}
+
+unsigned MeshTopology::hops(NodeId a, NodeId b) const noexcept {
+  auto [ax, ay] = coords(a);
+  auto [bx, by] = coords(b);
+  const unsigned dx = ax > bx ? ax - bx : bx - ax;
+  const unsigned dy = ay > by ? ay - by : by - ay;
+  return dx + dy;
+}
+
+} // namespace ccsim::net

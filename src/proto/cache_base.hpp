@@ -1,0 +1,119 @@
+// Machinery shared by the WI and update-based cache controllers:
+// private (non-coherent) memory, write-buffer acceptance and drain
+// scheduling, fence bookkeeping, and the common load path.
+#pragma once
+
+#include "proto/protocol.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace ccsim::proto {
+
+class BaseCacheController : public CacheController {
+public:
+  using CacheController::CacheController;
+
+  void cpu_load(Addr a, std::size_t size, LoadCallback done) override;
+  void cpu_store(Addr a, std::size_t size, std::uint64_t v, DoneCallback done) override;
+  void cpu_fence(DoneCallback done) override;
+
+protected:
+  // --- hooks the concrete protocols implement ------------------------
+
+  /// Handle a load that missed in the cache (shared address, no forward).
+  virtual void handle_load_miss(Addr a, std::size_t size, LoadCallback done) = 0;
+
+  /// Process the write at the head of the write buffer. Must eventually
+  /// call entry_done().
+  virtual void drain_head() = 0;
+
+  /// A load or store hit line `l`; protocol-specific reaction (e.g. the
+  /// competitive-update counter resets on local references).
+  virtual void on_cache_hit(mem::CacheLine& l, Addr a) { (void)l, (void)a; }
+
+  // --- services for subclasses ----------------------------------------
+
+  void send(net::Message m) {
+    m.src = id_;
+    ctx_.net.send(m);
+  }
+
+  /// Complete a load one hit-latency from now, reading the line at
+  /// completion time. A change (update/invalidation) landing between now
+  /// and then has already fired its change notification, so delivering a
+  /// value captured NOW would let a spinner sleep through its wakeup.
+  /// If the line is gone by then, the load retries from scratch.
+  void complete_load_later(Addr a, std::size_t size, LoadCallback done) {
+    ctx_.q.schedule(kHitCycles, [this, a, size, done = std::move(done)]() mutable {
+      if (cache_.find(mem::block_of(a))) {
+        done(cache_.read(a, size));
+      } else {
+        --ctx_.counters.mem.shared_reads;  // recounted by the retry
+        cpu_load(a, size, std::move(done));
+      }
+    });
+  }
+
+  /// The head write-buffer entry retired: pop it, admit a stalled store,
+  /// and keep draining.
+  void entry_done();
+
+  /// Start the drain loop if it is not already running.
+  void kick_drain();
+
+  /// Re-evaluate pending fences; call after any counter decreases.
+  void check_fences();
+
+  [[nodiscard]] bool fence_clear() const noexcept {
+    return wb_.empty() && pending_acks_ == 0 && outstanding_ == 0;
+  }
+
+  std::uint64_t read_private(Addr a) const {
+    auto it = private_mem_.find(a);
+    return it == private_mem_.end() ? 0 : it->second;
+  }
+
+  /// Latency of a cache hit / of accepting a store (1 cycle, section 3.1).
+  static constexpr Cycle kHitCycles = 1;
+  /// Extra cycles for the read-modify-write of a cache-side atomic.
+  static constexpr Cycle kAtomicCycles = 2;
+
+  /// Blocks with a Writeback of ours still unacknowledged by the home.
+  /// Used to disambiguate forward races: a forward arriving for a block we
+  /// just wrote back must be FwdNack'ed (the home replays off the
+  /// writeback), never deferred.
+  void note_writeback_sent(mem::BlockAddr b) { ++wb_pending_[b]; }
+  void note_writeback_acked(mem::BlockAddr b) {
+    auto it = wb_pending_.find(b);
+    if (it != wb_pending_.end() && --it->second == 0) wb_pending_.erase(it);
+  }
+  [[nodiscard]] bool writeback_in_flight(mem::BlockAddr b) const {
+    return wb_pending_.contains(b);
+  }
+
+  std::unordered_map<Addr, std::uint64_t> private_mem_;
+  std::unordered_map<mem::BlockAddr, int> wb_pending_;
+
+  /// Coherence acknowledgements still owed to this node's earlier writes.
+  /// May transiently go negative when an ack overtakes the message that
+  /// announces it.
+  std::int64_t pending_acks_ = 0;
+  /// Transactions whose ack count has not been announced yet (WI exclusive
+  /// requests in flight, update grants in flight).
+  int outstanding_ = 0;
+
+private:
+  struct StalledStore {
+    mem::WriteBufferEntry entry;
+    DoneCallback done;
+    Cycle since;
+  };
+
+  bool draining_ = false;
+  std::vector<DoneCallback> fence_waiters_;
+  std::vector<StalledStore> store_stalls_;
+};
+
+} // namespace ccsim::proto

@@ -1,0 +1,1 @@
+#include "proto/node.hpp"

@@ -1,0 +1,33 @@
+// One node of the simulated multiprocessor: cache controller + home
+// controller behind a single network sink.
+#pragma once
+
+#include "proto/protocol.hpp"
+
+#include <memory>
+
+namespace ccsim::proto {
+
+class Node final : public net::MessageSink {
+public:
+  Node(Protocol p, NodeId id, ProtocolContext& ctx, std::size_t cache_bytes,
+       std::size_t wb_entries, mem::MemTimings timings)
+      : cache_ctrl_(make_cache_controller(p, id, ctx, cache_bytes, wb_entries)),
+        home_ctrl_(make_home_controller(p, id, ctx, timings)) {}
+
+  void deliver(const net::Message& msg) override {
+    if (is_home_bound(msg.type))
+      home_ctrl_->on_message(msg);
+    else
+      cache_ctrl_->on_message(msg);
+  }
+
+  [[nodiscard]] CacheController& cache_ctrl() noexcept { return *cache_ctrl_; }
+  [[nodiscard]] HomeController& home_ctrl() noexcept { return *home_ctrl_; }
+
+private:
+  std::unique_ptr<CacheController> cache_ctrl_;
+  std::unique_ptr<HomeController> home_ctrl_;
+};
+
+} // namespace ccsim::proto

@@ -1,0 +1,116 @@
+// Update-based protocols (paper section 3.1).
+//
+// PU (pure update): writes write through the cache to the home node; the
+// home multicasts updates to the other sharers and tells the writer how
+// many acknowledgements to expect; sharers ack the writer directly; the
+// writer stalls for acks only at release fences. Writes ALLOCATE: a write
+// miss first fetches the block, so writers keep caching what they write --
+// this is what makes MCS-lock writers accumulate copies of other
+// processors' qnodes and receive an update for each modification of them
+// (paper section 4.1), and what the update-conscious flushes undo. PU adds the private-block
+// optimization: when the home sees an update for a block cached only by
+// the writer, the grant tells the writer to retain future updates locally
+// (the block enters PrivateDirty and behaves like an owned dirty copy until
+// the home recalls it).
+//
+// CU (competitive update): same machinery, no private mode; each cache
+// keeps a per-block counter of updates received since the last local
+// reference and self-invalidates at the threshold (4), sending the home a
+// Prune so no further updates are sent.
+//
+// Atomic instructions execute at the home memory: the home performs the
+// read-modify-write, multicasts the new value to sharers, and returns the
+// old value to the requester.
+#pragma once
+
+#include "proto/cache_base.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace ccsim::proto {
+
+class UpdateCacheController final : public BaseCacheController {
+public:
+  UpdateCacheController(NodeId id, ProtocolContext& ctx, std::size_t cache_bytes,
+                        std::size_t wb_entries, unsigned drop_threshold)
+      : BaseCacheController(id, ctx, cache_bytes, wb_entries),
+        drop_threshold_(drop_threshold) {}
+
+  void cpu_atomic(net::AtomicOp op, Addr a, std::uint64_t v1, std::uint64_t v2,
+                  LoadCallback done) override;
+  void cpu_flush(Addr a, DoneCallback done) override;
+  void on_message(const net::Message& msg) override;
+
+protected:
+  void handle_load_miss(Addr a, std::size_t size, LoadCallback done) override;
+  void drain_head() override;
+  void on_cache_hit(mem::CacheLine& l, Addr a) override { (void)a; l.cu_counter = 0; }
+
+private:
+  struct LoadWaiter {
+    Addr addr;
+    std::size_t size;
+    LoadCallback done;
+  };
+  struct Txn {
+    std::vector<LoadWaiter> loads;
+    std::vector<std::function<void()>> retries;  ///< write-allocate drains
+  };
+  struct PendingAtomic {
+    net::AtomicOp op{};
+    Addr addr = 0;
+    std::uint64_t v1 = 0, v2 = 0;
+    LoadCallback done;
+    bool active = false;
+    /// The reply may install the block -- unless our copy was dropped,
+    /// evicted or flushed while the request was in flight (a Prune or
+    /// ReplHint sent after the AtomicReq has already revoked the
+    /// sharer-ship the reply's fill would claim).
+    bool fill_ok = true;
+  };
+
+  void fill(mem::BlockAddr b, const std::array<std::byte, mem::kBlockSize>& data);
+  void evict_line(mem::CacheLine& line, bool flushing);
+  void apply_update(const net::Message& msg);
+
+  unsigned drop_threshold_;  ///< 0 disables competitive drops (PU)
+  std::unordered_map<mem::BlockAddr, Txn> txns_;
+  PendingAtomic atomic_;
+};
+
+class UpdateHomeController final : public HomeController {
+public:
+  UpdateHomeController(NodeId id, ProtocolContext& ctx, mem::MemTimings timings,
+                       bool enable_private)
+      : HomeController(id, ctx, timings), enable_private_(enable_private) {}
+
+  void on_message(const net::Message& msg) override;
+
+private:
+  /// A block mid-recall: requests queue here until the owner gives the
+  /// block back (RecallReply or its racing Writeback).
+  struct Pending {
+    std::deque<net::Message> queued;
+    bool waiting_wb = false;  ///< owner evicted; waiting for its Writeback
+  };
+
+  void process(const net::Message& msg);
+  void serve_gets(const net::Message& msg);
+  void serve_update(const net::Message& msg);
+  void serve_atomic(const net::Message& msg);
+  void start_recall(mem::BlockAddr b, const net::Message& first);
+  void replay(mem::BlockAddr b);
+  void multicast_update(mem::BlockAddr b, Addr word_addr, std::uint64_t value,
+                        std::size_t size, NodeId writer, unsigned& count);
+  void send_from(net::Message m) {
+    m.src = id_;
+    ctx_.net.send(m);
+  }
+
+  bool enable_private_;
+  std::unordered_map<mem::BlockAddr, Pending> pending_;
+};
+
+} // namespace ccsim::proto

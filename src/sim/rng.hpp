@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// Simulation determinism is a hard invariant, so workloads never use
+// std::random_device or global state: every generator is seeded explicitly
+// (typically from (experiment seed, processor id, round)).
+#pragma once
+
+#include <cstdint>
+
+namespace ccsim::sim {
+
+/// SplitMix64: tiny, fast, well distributed; ideal for reproducible
+/// per-processor streams.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Derive an independent stream (e.g. per processor) from this seed.
+  static std::uint64_t derive(std::uint64_t seed, std::uint64_t stream) noexcept {
+    Rng r(seed ^ (0x632be59bd9b4e019ULL * (stream + 1)));
+    return r.next();
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+} // namespace ccsim::sim

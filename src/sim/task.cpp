@@ -1,0 +1,3 @@
+// task.hpp is header-only; this translation unit exists so the build exposes
+// a place for future out-of-line definitions and keeps one TU per module.
+#include "sim/task.hpp"

@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace ccsim::sim {
+
+void TraceLog::log(TraceCat c, Cycle now, const char* fmt, ...) {
+  if (!on(c)) return;
+  char buf[256];
+  const int head = std::snprintf(buf, sizeof buf, "t=%llu ",
+                                 static_cast<unsigned long long>(now));
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf + head, sizeof buf - static_cast<std::size_t>(head), fmt, args);
+  va_end(args);
+
+  if (echo_) std::fprintf(echo_, "%s\n", buf);
+  ring_.emplace_back(buf);
+  ++total_;
+  if (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::string TraceLog::tail(std::size_t n) const {
+  std::string out;
+  const std::size_t start = ring_.size() > n ? ring_.size() - n : 0;
+  for (std::size_t i = start; i < ring_.size(); ++i) {
+    out += ring_[i];
+    out += '\n';
+  }
+  return out;
+}
+
+} // namespace ccsim::sim

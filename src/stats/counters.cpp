@@ -1,0 +1,44 @@
+#include "stats/counters.hpp"
+
+#include <numeric>
+
+namespace ccsim::stats {
+
+std::string_view to_string(MissClass c) noexcept {
+  switch (c) {
+    case MissClass::Cold: return "cold";
+    case MissClass::TrueSharing: return "true";
+    case MissClass::FalseSharing: return "false";
+    case MissClass::Eviction: return "evict";
+    case MissClass::Drop: return "drop";
+    case MissClass::Count_: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(UpdateClass c) noexcept {
+  switch (c) {
+    case UpdateClass::TrueSharing: return "useful";
+    case UpdateClass::FalseSharing: return "false";
+    case UpdateClass::Proliferation: return "prolif";
+    case UpdateClass::Replacement: return "repl";
+    case UpdateClass::Termination: return "end";
+    case UpdateClass::Drop: return "drop";
+    case UpdateClass::Count_: break;
+  }
+  return "?";
+}
+
+std::uint64_t MissCounts::total() const noexcept {
+  return std::accumulate(by.begin(), by.end(), std::uint64_t{0});
+}
+
+std::uint64_t MissCounts::useful() const noexcept {
+  return (*this)[MissClass::Cold] + (*this)[MissClass::TrueSharing];
+}
+
+std::uint64_t UpdateCounts::total() const noexcept {
+  return std::accumulate(by.begin(), by.end(), std::uint64_t{0});
+}
+
+} // namespace ccsim::stats

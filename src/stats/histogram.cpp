@@ -1,0 +1,79 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace ccsim::stats {
+
+namespace {
+/// Bucket index: 0 -> 0; v -> floor(log2 v) + 1, capped.
+std::size_t bucket_of(Cycle v) noexcept {
+  if (v == 0) return 0;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(v));
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+/// Inclusive value range covered by a bucket.
+void bucket_range(std::size_t b, Cycle& lo, Cycle& hi) noexcept {
+  if (b == 0) {
+    lo = hi = 0;
+    return;
+  }
+  lo = Cycle{1} << (b - 1);
+  hi = (Cycle{1} << b) - 1;
+}
+} // namespace
+
+void LatencyHistogram::add(Cycle v) noexcept {
+  ++buckets_[bucket_of(v)];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+Cycle LatencyHistogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t next = seen + buckets_[b];
+    if (static_cast<double>(next) >= target) {
+      Cycle lo, hi;
+      bucket_range(b, lo, hi);
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi <= lo || buckets_[b] == 1) return hi;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[b]);
+      return lo + static_cast<Cycle>(frac * static_cast<double>(hi - lo));
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.1f p50=%llu p90=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(percentile(0.50)),
+                static_cast<unsigned long long>(percentile(0.90)),
+                static_cast<unsigned long long>(percentile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+} // namespace ccsim::stats

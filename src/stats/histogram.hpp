@@ -1,0 +1,50 @@
+// Log-scale latency histogram.
+//
+// The paper reports averages; distributions expose what averages hide --
+// most notably lock FAIRNESS: a FIFO ticket lock and an unfair
+// test-and-set lock can have similar mean acquire latencies while their
+// p99s differ by orders of magnitude (see bench/abl_lock_fairness).
+//
+// Power-of-two buckets: values 0, 1, 2-3, 4-7, ... Percentiles are
+// resolved by linear interpolation within the winning bucket.
+#pragma once
+
+#include "sim/types.hpp"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ccsim::stats {
+
+class LatencyHistogram {
+public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void add(Cycle v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] Cycle min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] Cycle max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1] (interpolated within the bucket).
+  [[nodiscard]] Cycle percentile(double q) const noexcept;
+
+  /// "n=.. mean=.. p50=.. p90=.. p99=.. max=.." one-liner.
+  [[nodiscard]] std::string summary() const;
+
+  /// Merge another histogram into this one.
+  void merge(const LatencyHistogram& o) noexcept;
+
+private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  Cycle min_ = ~Cycle{0};
+  Cycle max_ = 0;
+};
+
+} // namespace ccsim::stats

@@ -1,0 +1,37 @@
+#include "stats/report.hpp"
+
+#include <ostream>
+
+namespace ccsim::stats {
+
+void print_report(std::ostream& os, const Counters& c) {
+  os << "cache misses (" << c.misses.total() << " total, " << c.misses.useful()
+     << " useful):\n";
+  for (std::size_t i = 0; i < kMissClasses; ++i) {
+    const auto cls = static_cast<MissClass>(i);
+    os << "  " << to_string(cls) << ": " << c.misses[cls] << '\n';
+  }
+  os << "  exclusive requests: " << c.misses.exclusive_requests << '\n';
+
+  os << "update messages (" << c.updates.total() << " total, " << c.updates.useful()
+     << " useful):\n";
+  for (std::size_t i = 0; i < kUpdateClasses; ++i) {
+    const auto cls = static_cast<UpdateClass>(i);
+    os << "  " << to_string(cls) << ": " << c.updates[cls] << '\n';
+  }
+
+  os << "network: " << c.net.messages << " messages, " << c.net.flits << " flits, "
+     << c.net.hops << " total hops, " << c.net.local << " local deliveries\n";
+  os << "message profile:";
+  for (std::size_t i = 0; i < kMsgTypeCount; ++i) {
+    if (c.net.by_type[i] == 0) continue;
+    os << ' ' << net::to_string(static_cast<net::MsgType>(i)) << '='
+       << c.net.by_type[i];
+  }
+  os << '\n';
+  os << "memory:  " << c.mem.shared_reads << " shared reads (" << c.mem.read_hits
+     << " hits), " << c.mem.shared_writes << " shared writes, " << c.mem.atomics
+     << " atomics, " << c.mem.write_buffer_stalls << " WB-stall cycles\n";
+}
+
+} // namespace ccsim::stats

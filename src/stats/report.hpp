@@ -1,0 +1,15 @@
+// Human-readable run reports: categorized traffic summaries for examples
+// and the protocol-explorer tool.
+#pragma once
+
+#include "stats/counters.hpp"
+
+#include <iosfwd>
+
+namespace ccsim::stats {
+
+/// Print a full breakdown of one run's counters (misses by class, updates
+/// by class, network volume, memory-system activity).
+void print_report(std::ostream& os, const Counters& c);
+
+} // namespace ccsim::stats

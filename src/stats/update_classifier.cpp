@@ -1,0 +1,80 @@
+#include "stats/update_classifier.hpp"
+
+namespace ccsim::stats {
+
+UpdateClassifier::PerProc& UpdateClassifier::state(NodeId proc, mem::BlockAddr b) {
+  BlockInfo& bi = blocks_[b];
+  if (bi.procs.empty()) bi.procs.resize(nprocs_);
+  return bi.procs[proc];
+}
+
+void UpdateClassifier::finalize_word(PerProc& pp, unsigned w, UpdateClass cls) {
+  const std::uint8_t bit = static_cast<std::uint8_t>(1u << w);
+  if (!(pp.pending & bit)) return;
+  // "Classify useless updates as proliferation unless active false sharing
+  // is detected" -- refother upgrades the class to false sharing for the
+  // overwrite and end-of-program cases.
+  if ((pp.refother & bit) &&
+      (cls == UpdateClass::Proliferation || cls == UpdateClass::Termination))
+    cls = UpdateClass::FalseSharing;
+  ++counters_.updates[cls];
+  pp.pending = static_cast<std::uint8_t>(pp.pending & ~bit);
+  pp.refother = static_cast<std::uint8_t>(pp.refother & ~bit);
+}
+
+void UpdateClassifier::on_update_applied(NodeId proc, Addr addr) {
+  PerProc& pp = state(proc, mem::block_of(addr));
+  const unsigned w = mem::word_of(addr);
+  // Overwriting a still-pending update ends its lifetime uselessly.
+  finalize_word(pp, w, UpdateClass::Proliferation);
+  pp.pending = static_cast<std::uint8_t>(pp.pending | (1u << w));
+  pp.refother = static_cast<std::uint8_t>(pp.refother & ~(1u << w));
+}
+
+void UpdateClassifier::on_drop_update(NodeId proc, Addr addr) {
+  PerProc& pp = state(proc, mem::block_of(addr));
+  const unsigned w = mem::word_of(addr);
+  // The arriving update itself is the drop update...
+  ++counters_.updates[UpdateClass::Drop];
+  // ...and the block's other pending updates die unconsumed.
+  finalize_word(pp, w, UpdateClass::Proliferation);  // pending older update on w
+  for (unsigned i = 0; i < mem::kWordsPerBlock; ++i)
+    finalize_word(pp, i, UpdateClass::Proliferation);
+}
+
+void UpdateClassifier::on_reference(NodeId proc, Addr addr) {
+  if (!mem::is_shared(addr)) return;
+  auto it = blocks_.find(mem::block_of(addr));
+  if (it == blocks_.end() || it->second.procs.empty()) return;
+  PerProc& pp = it->second.procs[proc];
+  if (pp.pending == 0) return;
+  const unsigned w = mem::word_of(addr);
+  const std::uint8_t bit = static_cast<std::uint8_t>(1u << w);
+  if (pp.pending & bit) {
+    // Referenced the updated word: useful, finalize eagerly.
+    ++counters_.updates[UpdateClass::TrueSharing];
+    pp.pending = static_cast<std::uint8_t>(pp.pending & ~bit);
+    pp.refother = static_cast<std::uint8_t>(pp.refother & ~bit);
+  }
+  // Every other pending update in the block now has other-word activity.
+  pp.refother = static_cast<std::uint8_t>(pp.refother | (pp.pending & ~bit));
+}
+
+void UpdateClassifier::on_block_replaced(NodeId proc, mem::BlockAddr b) {
+  auto it = blocks_.find(b);
+  if (it == blocks_.end() || it->second.procs.empty()) return;
+  PerProc& pp = it->second.procs[proc];
+  for (unsigned w = 0; w < mem::kWordsPerBlock; ++w)
+    finalize_word(pp, w, UpdateClass::Replacement);
+}
+
+void UpdateClassifier::finalize(Cycle) {
+  for (auto& [b, bi] : blocks_) {
+    for (auto& pp : bi.procs) {
+      for (unsigned w = 0; w < mem::kWordsPerBlock; ++w)
+        finalize_word(pp, w, UpdateClass::Termination);
+    }
+  }
+}
+
+} // namespace ccsim::stats

@@ -1,0 +1,52 @@
+// Reductions built directly on atomic primitives -- a third strategy
+// beyond the paper's lock-based parallel and owner-based sequential
+// reductions, and a natural extension of its framework: under update-based
+// protocols the atomic executes AT THE MEMORY, so a fetch_and_add
+// reduction is effectively hardware combining at the home node.
+//
+//   - AtomicSumReduction: every processor fetch_and_adds its contribution
+//     into the shared accumulator (associative op done by the home under
+//     PU/CU, by the cache owner under WI);
+//   - CasMaxReduction: lock-free maximum via a compare_and_swap retry
+//     loop (reads are cheap, the CAS only fires while the candidate still
+//     beats the current global value).
+//
+// Both follow figure 6's round structure: contribute; BARRIER; use;
+// BARRIER. See bench/abl_reduction_atomic.
+#pragma once
+
+#include "harness/machine.hpp"
+#include "sync/sync.hpp"
+
+namespace ccsim::sync {
+
+class AtomicSumReduction {
+public:
+  AtomicSumReduction(harness::Machine& m, Barrier& barrier, NodeId home = 0);
+
+  /// Add `value` into the running global sum; `*result` receives the sum
+  /// this processor observed after the barrier.
+  sim::Task reduce(cpu::Cpu& c, std::uint64_t value, std::uint64_t* result = nullptr);
+
+  [[nodiscard]] Addr sum_addr() const noexcept { return sum_; }
+
+private:
+  Addr sum_;
+  Barrier& barrier_;
+};
+
+class CasMaxReduction {
+public:
+  CasMaxReduction(harness::Machine& m, Barrier& barrier, NodeId home = 0);
+
+  /// Fold `value` into the running global maximum.
+  sim::Task reduce(cpu::Cpu& c, std::uint64_t value, std::uint64_t* result = nullptr);
+
+  [[nodiscard]] Addr max_addr() const noexcept { return max_; }
+
+private:
+  Addr max_;
+  Barrier& barrier_;
+};
+
+} // namespace ccsim::sync

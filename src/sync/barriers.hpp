@@ -1,0 +1,127 @@
+// The paper's three barriers (section 2.2):
+//   - sense-reversing centralized barrier (figure 3),
+//   - dissemination barrier (figure 4),
+//   - 4-ary arrival-tree barrier with a global wakeup flag (figure 5,
+//     the Mellor-Crummey & Scott tree barrier).
+//
+// Processor-private variables (sense, parity) are plain host-side state --
+// private references cost 1 cycle and never touch the coherence machinery.
+#pragma once
+
+#include "harness/machine.hpp"
+#include "sync/sync.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ccsim::sync {
+
+/// Sense-reversing centralized barrier. `count` (word 0) and `sense`
+/// (word 1) share one block on the home node, as in the paper's figure 3
+/// declarations -- the source of its heavy useless update traffic.
+class CentralBarrier final : public Barrier {
+public:
+  explicit CentralBarrier(harness::Machine& m, NodeId home = 0);
+
+  sim::Task wait(cpu::Cpu& c) override;
+
+  [[nodiscard]] Addr count_addr() const noexcept { return base_; }
+  [[nodiscard]] Addr sense_addr() const noexcept { return base_ + mem::kWordSize; }
+
+private:
+  Addr base_;
+  unsigned parties_;
+  std::vector<std::uint8_t> local_sense_;
+};
+
+/// Dissemination barrier: ceil(log2 P) rounds; in round k processor i
+/// signals processor (i + 2^k) mod P. Each processor's flag array lives in
+/// its own node's memory; signalling writes the partner's flag (remote,
+/// no-allocate under the update protocols) and spinning reads the local one.
+class DisseminationBarrier final : public Barrier {
+public:
+  explicit DisseminationBarrier(harness::Machine& m);
+
+  sim::Task wait(cpu::Cpu& c) override;
+
+  [[nodiscard]] unsigned rounds() const noexcept { return rounds_; }
+  /// Each flag lives in its own cache block ("shared data are mapped to the
+  /// processors that use them most frequently", section 4): the spinner and
+  /// its single writer are then the block's only sharers, which is what
+  /// gives the dissemination barrier its all-useful update traffic under
+  /// PU/CU (figure 13).
+  [[nodiscard]] Addr flag_addr(NodeId i, unsigned parity, unsigned round) const {
+    return flags_.at(i) + (parity * rounds_ + round) * mem::kBlockSize;
+  }
+
+private:
+  struct PerProc {
+    unsigned parity = 0;
+    std::uint64_t sense = 1;
+  };
+  unsigned parties_;
+  unsigned rounds_;
+  std::vector<Addr> flags_;
+  std::vector<PerProc> state_;
+};
+
+/// 4-ary arrival tree + global wakeup flag (MCS tree barrier). Node i's
+/// treenode lives on node i; per figure 5, childnotready is an array of
+/// four BOOLEANS packed into the first word, so children 4i+1..4i+4 clear
+/// one byte each, the parent spins on the whole word reaching zero and
+/// re-arms it with a single 4-byte store of havechild. The root toggles a
+/// global sense flag that everyone else spins on.
+class TreeBarrier final : public Barrier {
+public:
+  explicit TreeBarrier(harness::Machine& m);
+
+  sim::Task wait(cpu::Cpu& c) override;
+
+  /// Byte address of childnotready[j] in node i's treenode.
+  [[nodiscard]] Addr childnotready_addr(NodeId i, unsigned j) const {
+    return nodes_.at(i) + j;
+  }
+  [[nodiscard]] Addr globalsense_addr() const noexcept { return globalsense_; }
+
+private:
+  static constexpr unsigned kArity = 4;
+
+  unsigned parties_;
+  std::vector<Addr> nodes_;  ///< per-processor treenode blocks
+  Addr globalsense_;
+  std::vector<std::uint64_t> sense_;
+  std::vector<std::array<bool, kArity>> havechild_;
+  std::vector<std::uint32_t> havechild_word_;  ///< re-arm value per node
+};
+
+/// The full MCS'91 scalable tree barrier (library extension beyond the
+/// paper's figure 5): the same 4-ary arrival tree, but wakeup propagates
+/// down a BINARY tree of per-processor flags instead of one global sense
+/// word -- every processor spins on a flag in its own memory and receives
+/// exactly one wakeup write. Under WI this removes the global-flag
+/// invalidation storm; under PU/CU it makes the wakeup traffic one useful
+/// update per processor (like the dissemination barrier's signals).
+class CombiningTreeBarrier final : public Barrier {
+public:
+  explicit CombiningTreeBarrier(harness::Machine& m);
+
+  sim::Task wait(cpu::Cpu& c) override;
+
+  [[nodiscard]] Addr childnotready_addr(NodeId i, unsigned j) const {
+    return arrival_.at(i) + j;
+  }
+  [[nodiscard]] Addr wakeup_addr(NodeId i) const { return wakeup_.at(i); }
+
+private:
+  static constexpr unsigned kArrivalArity = 4;
+  static constexpr unsigned kWakeupArity = 2;
+
+  unsigned parties_;
+  std::vector<Addr> arrival_;  ///< per-processor childnotready words
+  std::vector<Addr> wakeup_;   ///< per-processor wakeup flags (own block)
+  std::vector<std::uint64_t> sense_;
+  std::vector<std::uint32_t> havechild_word_;
+};
+
+} // namespace ccsim::sync

@@ -1,0 +1,50 @@
+// MCS list-based queuing lock (paper figure 2), plus the paper's proposed
+// update-conscious variant.
+//
+// Qnodes (next pointer, locked flag; 2 words) are PACKED into a shared
+// array -- four qnodes per cache block -- as in the paper's experiments:
+// processors spinning on their own flag thereby cache blocks holding other
+// processors' qnodes, which under update-based protocols means they
+// receive an update for each modification of those qnodes (section 4.1's
+// "intense messaging activity"). A `padded` variant (one block per qnode,
+// homed at its owner) is provided for the layout ablation. The global tail
+// pointer lives on the lock's home node. Pointers are simulated addresses
+// stored in simulated memory, so queue integrity exercises protocol
+// correctness end to end.
+//
+// The update-conscious variant (update_conscious = true) adds the block
+// flushes the paper proposes for update-based protocols: after linking
+// behind a predecessor the acquirer flushes its cached copy of the
+// predecessor's qnode, and after signalling its successor the releaser
+// flushes its copy of the successor's qnode -- cutting the proliferation
+// updates that otherwise flow to every past holder.
+#pragma once
+
+#include "harness/machine.hpp"
+#include "sync/sync.hpp"
+
+#include <vector>
+
+namespace ccsim::sync {
+
+class McsLock final : public Lock {
+public:
+  McsLock(harness::Machine& m, bool update_conscious = false, NodeId home = 0,
+          bool padded = false);
+
+  sim::Task acquire(cpu::Cpu& c) override;
+  sim::Task release(cpu::Cpu& c) override;
+
+  [[nodiscard]] Addr tail_addr() const noexcept { return tail_; }
+  [[nodiscard]] Addr qnode_addr(NodeId i) const { return qnodes_.at(i); }
+
+private:
+  static constexpr Addr kNextOff = 0;
+  static constexpr Addr kLockedOff = mem::kWordSize;
+
+  Addr tail_;
+  std::vector<Addr> qnodes_;
+  bool update_conscious_;
+};
+
+} // namespace ccsim::sync

@@ -1,0 +1,54 @@
+// Parallel and sequential reduction operations (paper figures 6 and 7).
+//
+// Both compute a global maximum of per-processor values, round by round.
+// The parallel reduction has every processor update the shared `max` inside
+// a critical section; the sequential reduction has each processor publish
+// its value into local_max[pid] and processor 0 fold the array.
+//
+// Repeated rounds: callers make each round's candidates strictly dominate
+// the previous round's (e.g. by prefixing a round number, see
+// harness/workloads.cpp), which restarts the reduction each round without
+// extra reset traffic or races -- figures 6/7 show a single round.
+#pragma once
+
+#include "harness/machine.hpp"
+#include "sync/sync.hpp"
+
+namespace ccsim::sync {
+
+class ParallelReduction {
+public:
+  ParallelReduction(harness::Machine& m, Lock& lock, Barrier& barrier, NodeId home = 0);
+
+  /// One reduction round contributing `value`; `*result` (optional)
+  /// receives the global maximum this processor observed.
+  sim::Task reduce(cpu::Cpu& c, std::uint64_t value, std::uint64_t* result = nullptr);
+
+  [[nodiscard]] Addr max_addr() const noexcept { return max_; }
+
+private:
+  Addr max_;
+  Lock& lock_;
+  Barrier& barrier_;
+};
+
+class SequentialReduction {
+public:
+  SequentialReduction(harness::Machine& m, Barrier& barrier, NodeId home = 0);
+
+  sim::Task reduce(cpu::Cpu& c, std::uint64_t value, std::uint64_t* result = nullptr);
+
+  [[nodiscard]] Addr max_addr() const noexcept { return max_; }
+  /// local_max[i] is block-padded and homed at its writer (the paper's
+  /// placement rule): the writer and processor 0 are then the slot's only
+  /// sharers, making its update traffic useful (figure 16).
+  [[nodiscard]] Addr local_max_addr(NodeId i) const { return locals_.at(i); }
+
+private:
+  Addr max_;
+  std::vector<Addr> locals_;
+  unsigned parties_;
+  Barrier& barrier_;
+};
+
+} // namespace ccsim::sync

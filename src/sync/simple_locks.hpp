@@ -1,0 +1,54 @@
+// Centralized test-and-set locks (Mellor-Crummey & Scott '91), the
+// baselines against which the paper's chosen locks (ticket, MCS) were
+// originally established:
+//
+//   - TasLock:  spin on fetch_and_store(L, 1) with bounded exponential
+//     backoff between attempts;
+//   - TtasLock: "test-and-test&set" -- spin reading the lock word until it
+//     looks free, then attempt the fetch_and_store, with backoff on
+//     failure. Under WI the read spin stays in the local cache; under
+//     PU/CU the spinners' copies are kept fresh by updates.
+//
+// Both extend the paper's study to the full MCS'91 lock set and plug into
+// the same workloads and classifiers (see bench/abl_lock_algos).
+#pragma once
+
+#include "harness/machine.hpp"
+#include "sync/sync.hpp"
+
+namespace ccsim::sync {
+
+struct BackoffParams {
+  Cycle initial = 16;   ///< first pause after a failed attempt
+  Cycle max = 1024;     ///< pause cap (bounded exponential backoff)
+};
+
+class TasLock final : public Lock {
+public:
+  explicit TasLock(harness::Machine& m, NodeId home = 0, BackoffParams b = {});
+
+  sim::Task acquire(cpu::Cpu& c) override;
+  sim::Task release(cpu::Cpu& c) override;
+
+  [[nodiscard]] Addr lock_addr() const noexcept { return lock_; }
+
+private:
+  Addr lock_;
+  BackoffParams backoff_;
+};
+
+class TtasLock final : public Lock {
+public:
+  explicit TtasLock(harness::Machine& m, NodeId home = 0, BackoffParams b = {});
+
+  sim::Task acquire(cpu::Cpu& c) override;
+  sim::Task release(cpu::Cpu& c) override;
+
+  [[nodiscard]] Addr lock_addr() const noexcept { return lock_; }
+
+private:
+  Addr lock_;
+  BackoffParams backoff_;
+};
+
+} // namespace ccsim::sync

@@ -1,0 +1,27 @@
+// Abstract lock / barrier interfaces.
+//
+// Every construct in this library (and any user-defined one) implements
+// these, so workloads and reductions can be composed with any
+// implementation -- including the zero-traffic "magic" ones the paper uses
+// to isolate reduction behavior (section 4.3).
+#pragma once
+
+#include "cpu/cpu.hpp"
+#include "sim/task.hpp"
+
+namespace ccsim::sync {
+
+class Lock {
+public:
+  virtual ~Lock() = default;
+  virtual sim::Task acquire(cpu::Cpu& c) = 0;
+  virtual sim::Task release(cpu::Cpu& c) = 0;
+};
+
+class Barrier {
+public:
+  virtual ~Barrier() = default;
+  virtual sim::Task wait(cpu::Cpu& c) = 0;
+};
+
+} // namespace ccsim::sync

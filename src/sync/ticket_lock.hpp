@@ -1,0 +1,34 @@
+// Centralized ticket lock (paper figure 1).
+//
+// Two shared counters live in one cache block on a chosen home node:
+// next_ticket (word 0), handed out with fetch_and_add, and now_serving
+// (word 1), spun on by waiters and incremented by the releaser. Keeping
+// both in the same block matches the natural struct layout the paper uses
+// and is what produces its false-sharing update traffic under PU/CU.
+// A `split` variant places the counters in separate blocks, quantifying
+// that layout cost (bench/abl_lock_layouts).
+#pragma once
+
+#include "harness/machine.hpp"
+#include "sync/sync.hpp"
+
+namespace ccsim::sync {
+
+class TicketLock final : public Lock {
+public:
+  /// Allocates the lock's block(s) on `home` (default: node 0). With
+  /// split = true the two counters get separate cache blocks.
+  explicit TicketLock(harness::Machine& m, NodeId home = 0, bool split = false);
+
+  sim::Task acquire(cpu::Cpu& c) override;
+  sim::Task release(cpu::Cpu& c) override;
+
+  [[nodiscard]] Addr next_ticket_addr() const noexcept { return next_; }
+  [[nodiscard]] Addr now_serving_addr() const noexcept { return serving_; }
+
+private:
+  Addr next_;
+  Addr serving_;
+};
+
+} // namespace ccsim::sync

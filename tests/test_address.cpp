@@ -1,0 +1,54 @@
+// Unit tests for address arithmetic.
+#include "mem/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim::mem;
+
+TEST(Address, BlockOfAndBase) {
+  EXPECT_EQ(block_of(0), 0u);
+  EXPECT_EQ(block_of(63), 0u);
+  EXPECT_EQ(block_of(64), 1u);
+  EXPECT_EQ(block_of(kSharedBase), kSharedBase / 64);
+  EXPECT_EQ(block_base(block_of(kSharedBase + 100)), kSharedBase + 64);
+}
+
+TEST(Address, WordIndexCyclesWithinBlock) {
+  const ccsim::Addr base = kSharedBase;
+  for (unsigned w = 0; w < kWordsPerBlock; ++w) {
+    EXPECT_EQ(word_of(base + w * kWordSize), w);
+    EXPECT_EQ(word_of(base + w * kWordSize + 3), w) << "mid-word bytes share the word";
+  }
+  EXPECT_EQ(word_of(base + kBlockSize), 0u);
+}
+
+TEST(Address, OffsetOf) {
+  EXPECT_EQ(offset_of(kSharedBase), 0u);
+  EXPECT_EQ(offset_of(kSharedBase + 17), 17u);
+  EXPECT_EQ(offset_of(kSharedBase + 64 + 5), 5u);
+}
+
+TEST(Address, WithinWord) {
+  EXPECT_TRUE(within_word(kSharedBase, 8));
+  EXPECT_TRUE(within_word(kSharedBase + 4, 4));
+  EXPECT_TRUE(within_word(kSharedBase + 7, 1));
+  EXPECT_FALSE(within_word(kSharedBase + 4, 8));  // straddles two words
+  EXPECT_FALSE(within_word(kSharedBase + 1, 8));
+}
+
+TEST(Address, SharedPredicate) {
+  EXPECT_FALSE(is_shared(0));
+  EXPECT_FALSE(is_shared(kSharedBase - 1));
+  EXPECT_TRUE(is_shared(kSharedBase));
+  EXPECT_TRUE(is_shared(kSharedBase + (1 << 20)));
+}
+
+TEST(Address, GeometryConstants) {
+  EXPECT_EQ(kBlockSize, 64u);
+  EXPECT_EQ(kWordSize, 8u);
+  EXPECT_EQ(kWordsPerBlock, 8u);
+}
+
+} // namespace

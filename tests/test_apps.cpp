@@ -1,0 +1,152 @@
+// Application kernels: every kernel's oracle must hold under every
+// protocol and several machine sizes and parameterizations.
+#include "apps/kernels.hpp"
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace {
+
+using namespace ccsim;
+using proto::Protocol;
+
+using Combo = std::tuple<Protocol, unsigned>;
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  return std::string(proto::to_string(std::get<0>(info.param))) + "_" +
+         std::to_string(std::get<1>(info.param));
+}
+
+class Apps : public ::testing::TestWithParam<Combo> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Apps,
+    ::testing::Combine(::testing::Values(Protocol::WI, Protocol::PU, Protocol::CU),
+                       ::testing::Values(1u, 2u, 4u, 8u)),
+    combo_name);
+
+TEST_P(Apps, SorMatchesOracle) {
+  const auto& [p, n] = GetParam();
+  apps::SorParams params;
+  params.sweeps = 12;
+  params.cells_per_proc = 10;
+  const auto r = apps::run_sor(p, n, params);
+  EXPECT_TRUE(r.correct);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_P(Apps, SorWithCentralBarrier) {
+  const auto& [p, n] = GetParam();
+  apps::SorParams params;
+  params.sweeps = 8;
+  params.cells_per_proc = 6;
+  params.barrier = harness::BarrierKind::Central;
+  EXPECT_TRUE(apps::run_sor(p, n, params).correct);
+}
+
+TEST_P(Apps, HistogramExactCounts) {
+  const auto& [p, n] = GetParam();
+  apps::HistogramParams params;
+  params.items_per_proc = 40;
+  const auto r = apps::run_histogram(p, n, params);
+  EXPECT_TRUE(r.correct);
+}
+
+TEST_P(Apps, HistogramWithMcsLocks) {
+  const auto& [p, n] = GetParam();
+  apps::HistogramParams params;
+  params.items_per_proc = 30;
+  params.buckets = 4;  // heavier per-lock contention
+  params.lock = harness::LockKind::Mcs;
+  EXPECT_TRUE(apps::run_histogram(p, n, params).correct);
+}
+
+TEST_P(Apps, NbodyParallelReduction) {
+  const auto& [p, n] = GetParam();
+  apps::NbodyParams params;
+  params.steps = 10;
+  params.parallel_reduction = true;
+  EXPECT_TRUE(apps::run_nbody_step(p, n, params).correct);
+}
+
+TEST_P(Apps, NbodySequentialReduction) {
+  const auto& [p, n] = GetParam();
+  apps::NbodyParams params;
+  params.steps = 10;
+  params.parallel_reduction = false;
+  EXPECT_TRUE(apps::run_nbody_step(p, n, params).correct);
+}
+
+TEST_P(Apps, PipelineChecksum) {
+  const auto& [p, n] = GetParam();
+  apps::PipelineParams params;
+  params.items = 60;
+  const auto r = apps::run_pipeline(p, n, params);
+  EXPECT_TRUE(r.correct);
+}
+
+TEST_P(Apps, PipelineTinyQueues) {
+  const auto& [p, n] = GetParam();
+  apps::PipelineParams params;
+  params.items = 40;
+  params.queue_slots = 1;  // fully synchronous hand-off
+  EXPECT_TRUE(apps::run_pipeline(p, n, params).correct);
+}
+
+TEST_P(Apps, MatmulMatchesOracle) {
+  const auto& [p, n] = GetParam();
+  apps::MatmulParams params;
+  params.dim = 8;
+  const auto r = apps::run_matmul(p, n, params);
+  EXPECT_TRUE(r.correct);
+}
+
+TEST_P(Apps, MatmulWithCentralBarrier) {
+  const auto& [p, n] = GetParam();
+  apps::MatmulParams params;
+  params.dim = 6;
+  params.barrier = harness::BarrierKind::Central;
+  EXPECT_TRUE(apps::run_matmul(p, n, params).correct);
+}
+
+TEST(AppsHybrid, KernelsRunOnHybridMachines) {
+  // Kernels accept any machine protocol, including Hybrid (all regions on
+  // the default domain): oracles must still hold.
+  for (Protocol def : {Protocol::WI, Protocol::PU}) {
+    (void)def;
+  }
+  apps::SorParams sor;
+  sor.sweeps = 8;
+  sor.cells_per_proc = 6;
+  EXPECT_TRUE(apps::run_sor(Protocol::Hybrid, 4, sor).correct);
+  apps::PipelineParams pipe;
+  pipe.items = 30;
+  EXPECT_TRUE(apps::run_pipeline(Protocol::Hybrid, 4, pipe).correct);
+  apps::MatmulParams mat;
+  mat.dim = 6;
+  EXPECT_TRUE(apps::run_matmul(Protocol::Hybrid, 4, mat).correct);
+}
+
+TEST(AppsTraffic, PipelineUpdatesAreUseful) {
+  // Producer/consumer flag traffic is the best case for update protocols:
+  // most updates land exactly where the consumer spins.
+  const auto r = apps::run_pipeline(Protocol::PU, 6, {.items = 80, .queue_slots = 4});
+  ASSERT_TRUE(r.correct);
+  EXPECT_GT(r.counters.updates.useful() * 3, r.counters.updates.total() * 2)
+      << "expected >= ~2/3 useful updates in the pipeline";
+}
+
+TEST(AppsTraffic, SorUpdateBarrierBeatsWi) {
+  apps::SorParams params;
+  params.sweeps = 16;
+  const auto wi = apps::run_sor(Protocol::WI, 8, params);
+  const auto pu = apps::run_sor(Protocol::PU, 8, params);
+  ASSERT_TRUE(wi.correct);
+  ASSERT_TRUE(pu.correct);
+  EXPECT_LT(pu.cycles, wi.cycles)
+      << "halo exchange + dissemination barrier should favor updates";
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+// Atomic-primitive reductions: exactness of the fetch_and_add sum and the
+// CAS-loop maximum under contention, across protocols and sizes.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace {
+
+using namespace ccsim;
+using harness::Machine;
+using harness::MachineConfig;
+using proto::Protocol;
+
+using Combo = std::tuple<Protocol, unsigned>;
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  return std::string(proto::to_string(std::get<0>(info.param))) + "_" +
+         std::to_string(std::get<1>(info.param));
+}
+
+class AtomicReduction : public ::testing::TestWithParam<Combo> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AtomicReduction,
+    ::testing::Combine(::testing::Values(Protocol::WI, Protocol::PU, Protocol::CU),
+                       ::testing::Values(1u, 2u, 8u, 16u)),
+    combo_name);
+
+TEST_P(AtomicReduction, SumIsExactEveryRound) {
+  const auto& [p, n] = GetParam();
+  MachineConfig cfg;
+  cfg.protocol = p;
+  cfg.nprocs = n;
+  Machine m(cfg);
+  sync::MagicBarrier barrier(m.queue(), n);
+  sync::AtomicSumReduction red(m, barrier);
+
+  const int rounds = 20;
+  // Running sum oracle: value of proc q in round r is q + 1 + r.
+  std::uint64_t running = 0;
+  std::vector<std::uint64_t> oracle;
+  for (int r = 0; r < rounds; ++r) {
+    for (unsigned q = 0; q < n; ++q) running += q + 1 + r;
+    oracle.push_back(running);
+  }
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    for (int r = 0; r < rounds; ++r) {
+      std::uint64_t result = 0;
+      co_await red.reduce(c, c.id() + 1 + r, &result);
+      if (result != oracle[r]) throw std::logic_error("wrong atomic sum");
+    }
+  });
+  EXPECT_EQ(m.peek(red.sum_addr()), oracle.back());
+}
+
+TEST_P(AtomicReduction, CasMaxMatchesOracle) {
+  const auto& [p, n] = GetParam();
+  MachineConfig cfg;
+  cfg.protocol = p;
+  cfg.nprocs = n;
+  Machine m(cfg);
+  sync::MagicBarrier barrier(m.queue(), n);
+  sync::CasMaxReduction red(m, barrier);
+
+  const int rounds = 20;
+  const auto value = [n = n](int r, NodeId q) {
+    sim::Rng rng(sim::Rng::derive(0xabc ^ (r * 131), q));
+    return rng.below(1u << 30);
+  };
+  std::uint64_t running = 0;
+  std::vector<std::uint64_t> oracle;
+  for (int r = 0; r < rounds; ++r) {
+    for (unsigned q = 0; q < n; ++q) running = std::max(running, value(r, q));
+    oracle.push_back(running);
+  }
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    for (int r = 0; r < rounds; ++r) {
+      std::uint64_t result = 0;
+      co_await red.reduce(c, value(r, c.id()), &result);
+      if (result != oracle[r]) throw std::logic_error("wrong CAS max");
+    }
+  });
+  EXPECT_EQ(m.peek(red.max_addr()), oracle.back());
+}
+
+TEST_P(AtomicReduction, CasMaxAllWritersSimultaneously) {
+  // Worst case: every processor's candidate beats the current global, so
+  // CAS retries collide hard. The result must still be the true max.
+  const auto& [p, n] = GetParam();
+  MachineConfig cfg;
+  cfg.protocol = p;
+  cfg.nprocs = n;
+  Machine m(cfg);
+  sync::MagicBarrier barrier(m.queue(), n);
+  sync::CasMaxReduction red(m, barrier);
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    std::uint64_t result = 0;
+    co_await red.reduce(c, 1000 + c.id(), &result);
+    if (result != 1000 + m.nprocs() - 1) throw std::logic_error("lost max");
+  });
+}
+
+TEST(AtomicReductionTraffic, SumUnderPUIsHomeCombining) {
+  // Under PU the fetch_and_add executes at the home: P contributions cost
+  // P AtomicReq/AtomicReply pairs, with no lock and no block ping-pong.
+  MachineConfig cfg;
+  cfg.protocol = Protocol::PU;
+  cfg.nprocs = 8;
+  Machine m(cfg);
+  sync::MagicBarrier barrier(m.queue(), 8);
+  sync::AtomicSumReduction red(m, barrier);
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    for (int r = 0; r < 10; ++r) co_await red.reduce(c, 1);
+  });
+  const auto& net = m.counters().net;
+  EXPECT_EQ(net.of(net::MsgType::AtomicReq), 80u);
+  EXPECT_EQ(net.of(net::MsgType::AtomicReply), 80u);
+  EXPECT_EQ(net.of(net::MsgType::GetX), 0u) << "no exclusive ping-pong under PU";
+}
+
+TEST(AtomicReductionTraffic, SumUnderWIPingPongsTheBlock) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::WI;
+  cfg.nprocs = 8;
+  Machine m(cfg);
+  sync::MagicBarrier barrier(m.queue(), 8);
+  sync::AtomicSumReduction red(m, barrier);
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    for (int r = 0; r < 10; ++r) co_await red.reduce(c, 1);
+  });
+  const auto& net = m.counters().net;
+  EXPECT_EQ(net.of(net::MsgType::AtomicReq), 0u) << "WI atomics run in the cache";
+  EXPECT_GT(net.of(net::MsgType::GetX) + net.of(net::MsgType::Upgrade), 50u);
+}
+
+} // namespace

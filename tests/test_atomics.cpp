@@ -1,0 +1,148 @@
+// Atomic-instruction semantics across protocols: fetch_and_add,
+// fetch_and_store, compare_and_swap; serialization under contention; the
+// WI cache-side vs update home-side execution split.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace {
+
+using namespace ccsim;
+using harness::Machine;
+using harness::MachineConfig;
+using proto::Protocol;
+
+class Atomics : public ::testing::TestWithParam<Protocol> {
+protected:
+  MachineConfig cfg(unsigned n) {
+    MachineConfig c;
+    c.protocol = GetParam();
+    c.nprocs = n;
+    return c;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, Atomics,
+                         ::testing::Values(Protocol::WI, Protocol::PU, Protocol::CU),
+                         [](const auto& info) {
+                           return std::string(proto::to_string(info.param));
+                         });
+
+TEST_P(Atomics, FetchAddReturnsOldAndAccumulates) {
+  Machine m(cfg(4));
+  const Addr a = m.alloc().allocate_on(0, 8);
+  m.poke(a, 100);
+  std::vector<std::uint64_t> olds;
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    olds.push_back(co_await c.fetch_add(a, 10));
+  });
+  EXPECT_EQ(m.peek(a), 140u);
+  std::sort(olds.begin(), olds.end());
+  EXPECT_EQ(olds, (std::vector<std::uint64_t>{100, 110, 120, 130}));
+}
+
+TEST_P(Atomics, FetchAddWithNegativeDelta) {
+  Machine m(cfg(1));
+  const Addr a = m.alloc().allocate_on(0, 8);
+  m.poke(a, 5);
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    EXPECT_EQ(co_await c.fetch_add(a, static_cast<std::uint64_t>(-1)), 5u);
+  });
+  EXPECT_EQ(m.peek(a), 4u);
+}
+
+TEST_P(Atomics, FetchStoreSwaps) {
+  Machine m(cfg(2));
+  const Addr a = m.alloc().allocate_on(0, 8);
+  std::vector<std::uint64_t> olds;
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    olds.push_back(co_await c.fetch_store(a, c.id() + 1));
+  });
+  // One proc got 0 (initial), the other got the first proc's value, and
+  // the final memory value is whichever swapped last.
+  std::sort(olds.begin(), olds.end());
+  EXPECT_EQ(olds[0], 0u);
+  const std::uint64_t last = m.peek(a);
+  EXPECT_TRUE(last == 1u || last == 2u);
+  EXPECT_EQ(olds[1], last == 1u ? 2u : 1u);
+}
+
+TEST_P(Atomics, CompareSwapSucceedsExactlyOnce) {
+  Machine m(cfg(8));
+  const Addr a = m.alloc().allocate_on(0, 8);
+  int winners = 0;
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    const std::uint64_t old = co_await c.compare_swap(a, 0, c.id() + 1);
+    if (old == 0) ++winners;
+  });
+  EXPECT_EQ(winners, 1);
+  EXPECT_NE(m.peek(a), 0u);
+}
+
+TEST_P(Atomics, FailedCompareSwapWritesNothing) {
+  Machine m(cfg(1));
+  const Addr a = m.alloc().allocate_on(0, 8);
+  m.poke(a, 42);
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    EXPECT_EQ(co_await c.compare_swap(a, 7, 99), 42u);
+  });
+  EXPECT_EQ(m.peek(a), 42u);
+}
+
+TEST_P(Atomics, AtomicsForceWriteBufferFlush) {
+  Machine m(cfg(2));
+  const Addr data = m.alloc().allocate_on(1, 8);
+  const Addr ctr = m.alloc().allocate_on(1, 8);
+  // The store is in the write buffer when the atomic issues; the atomic
+  // must flush it first, so after the atomic the store is globally
+  // performed.
+  m.run({[&](cpu::Cpu& c) -> sim::Task {
+    co_await c.store(data, 5);
+    (void)co_await c.fetch_add(ctr, 1);
+    EXPECT_EQ(m.peek(data), 5u);
+  }});
+}
+
+TEST_P(Atomics, HighContentionCounter) {
+  Machine m(cfg(8));
+  const Addr a = m.alloc().allocate_on(3, 8);
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    for (int i = 0; i < 50; ++i) (void)co_await c.fetch_add(a, 1);
+  });
+  EXPECT_EQ(m.peek(a), 400u);
+}
+
+TEST(AtomicsPlacement, WiExecutesInCacheUpdateExecutesAtHome) {
+  // Under WI, repeated atomics by one processor hit its Modified copy:
+  // after the first, no more network traffic. Under PU, every atomic goes
+  // to the home memory.
+  const Addr probe = 0;
+  (void)probe;
+  MachineConfig wi;
+  wi.protocol = Protocol::WI;
+  wi.nprocs = 2;
+  Machine mw(wi);
+  const Addr aw = mw.alloc().allocate_on(1, 8);
+  mw.run({[&](cpu::Cpu& c) -> sim::Task {
+    for (int i = 0; i < 100; ++i) (void)co_await c.fetch_add(aw, 1);
+  }});
+  const auto wi_msgs = mw.counters().net.messages;
+
+  MachineConfig pu;
+  pu.protocol = Protocol::PU;
+  pu.nprocs = 2;
+  Machine mp(pu);
+  const Addr ap = mp.alloc().allocate_on(1, 8);
+  mp.run({[&](cpu::Cpu& c) -> sim::Task {
+    for (int i = 0; i < 100; ++i) (void)co_await c.fetch_add(ap, 1);
+  }});
+  const auto pu_msgs = mp.counters().net.messages;
+
+  EXPECT_LT(wi_msgs, 10u) << "WI: one GetX, then local atomics";
+  EXPECT_GE(pu_msgs, 200u) << "PU: AtomicReq + AtomicReply per operation";
+}
+
+} // namespace

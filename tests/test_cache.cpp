@@ -1,0 +1,88 @@
+// Unit tests for the data cache structure and its change notifications.
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using namespace ccsim::mem;
+
+TEST(Cache, GeometryFromSize) {
+  DataCache c(64 * 1024);
+  EXPECT_EQ(c.num_sets(), 1024u);
+  DataCache small(4 * 1024);
+  EXPECT_EQ(small.num_sets(), 64u);
+}
+
+TEST(Cache, FindOnlyMatchesValidSameBlock) {
+  DataCache c(4 * 1024);
+  const BlockAddr b = block_of(kSharedBase);
+  EXPECT_EQ(c.find(b), nullptr);
+  CacheLine& l = c.set_for(b);
+  l.block = b;
+  l.state = LineState::Shared;
+  EXPECT_EQ(c.find(b), &l);
+  // A different block mapping to the same set must not match.
+  const BlockAddr other = b + c.num_sets();
+  EXPECT_EQ(&c.set_for(other), &l);
+  EXPECT_EQ(c.find(other), nullptr);
+  l.state = LineState::Invalid;
+  EXPECT_EQ(c.find(b), nullptr);
+}
+
+TEST(Cache, ReadWriteBytesWithinWord) {
+  DataCache c(4 * 1024);
+  const Addr a = kSharedBase + 128;
+  CacheLine& l = c.set_for(block_of(a));
+  l.block = block_of(a);
+  l.state = LineState::ValidU;
+  c.write(a, 8, 0x1122334455667788ull);
+  EXPECT_EQ(c.read(a, 8), 0x1122334455667788ull);
+  EXPECT_EQ(c.read(a, 4), 0x55667788u);
+  EXPECT_EQ(c.read(a + 4, 4), 0x11223344u);
+  c.write(a + 2, 1, 0xff);
+  EXPECT_EQ(c.read(a, 8), 0x1122334455ff7788ull);
+}
+
+TEST(Cache, WatchersAreOneShotAndPerBlock) {
+  DataCache c(4 * 1024);
+  const BlockAddr b1 = block_of(kSharedBase);
+  const BlockAddr b2 = b1 + 1;
+  int fired1 = 0, fired2 = 0;
+  c.watch(b1, [&] { ++fired1; });
+  c.watch(b2, [&] { ++fired2; });
+  c.notify(b1);
+  EXPECT_EQ(fired1, 1);
+  EXPECT_EQ(fired2, 0);
+  c.notify(b1);  // one-shot: no second firing
+  EXPECT_EQ(fired1, 1);
+  c.notify(b2);
+  EXPECT_EQ(fired2, 1);
+}
+
+TEST(Cache, WatcherMayResubscribeDuringNotify) {
+  DataCache c(4 * 1024);
+  const BlockAddr b = block_of(kSharedBase);
+  int fired = 0;
+  std::function<void()> self = [&] {
+    if (++fired < 3) c.watch(b, self);
+  };
+  c.watch(b, self);
+  c.notify(b);
+  c.notify(b);
+  c.notify(b);
+  c.notify(b);  // no watcher left
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Cache, MultipleWatchersAllFire) {
+  DataCache c(4 * 1024);
+  const BlockAddr b = block_of(kSharedBase);
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) c.watch(b, [&] { ++fired; });
+  c.notify(b);
+  EXPECT_EQ(fired, 5);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+// Accounting conservation laws: every counted event must reconcile with
+// the message traffic that caused it. These catch double-counting and
+// leaks in the classifiers and counters across protocols.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using harness::Machine;
+using harness::MachineConfig;
+using net::MsgType;
+using proto::Protocol;
+
+TEST(Conservation, EveryDeliveredUpdateIsClassifiedOnce_NoDropsNoEvicts) {
+  // Dissemination barrier under PU: no drops, no evictions, no stale
+  // updates (flags live in dedicated blocks that are never replaced), so
+  // #classified updates == #Update messages sent.
+  MachineConfig cfg;
+  cfg.protocol = Protocol::PU;
+  cfg.nprocs = 8;
+  Machine m(cfg);
+  sync::DisseminationBarrier b(m);
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    for (int e = 0; e < 50; ++e) co_await b.wait(c);
+  });
+  const auto& ctr = m.counters();
+  EXPECT_EQ(ctr.updates.total(), ctr.net.of(MsgType::Update));
+}
+
+TEST(Conservation, UpdateAcksMatchUpdatesPlusDrops) {
+  // Every Update delivered to a cache is acknowledged exactly once
+  // (applied, dropped, or stale). Ack count == Update count always.
+  for (Protocol p : {Protocol::PU, Protocol::CU}) {
+    MachineConfig cfg;
+    cfg.protocol = p;
+    cfg.nprocs = 8;
+    const auto r = harness::run_lock_experiment(cfg, harness::LockKind::Mcs,
+                                                {.total_acquires = 320});
+    EXPECT_EQ(r.counters.net.of(MsgType::Update),
+              r.counters.net.of(MsgType::UpdateAck))
+        << proto::to_string(p);
+  }
+}
+
+TEST(Conservation, EveryUpdateReqIsGranted) {
+  for (Protocol p : {Protocol::PU, Protocol::CU}) {
+    MachineConfig cfg;
+    cfg.protocol = p;
+    cfg.nprocs = 8;
+    const auto r = harness::run_barrier_experiment(
+        cfg, harness::BarrierKind::Central, {.episodes = 50});
+    EXPECT_EQ(r.counters.net.of(MsgType::UpdateReq),
+              r.counters.net.of(MsgType::UpdateGrant))
+        << proto::to_string(p);
+  }
+}
+
+TEST(Conservation, EveryAtomicGetsExactlyOneReply) {
+  for (Protocol p : {Protocol::PU, Protocol::CU}) {
+    MachineConfig cfg;
+    cfg.protocol = p;
+    cfg.nprocs = 8;
+    const auto r = harness::run_lock_experiment(cfg, harness::LockKind::Ticket,
+                                                {.total_acquires = 320});
+    EXPECT_EQ(r.counters.net.of(MsgType::AtomicReq),
+              r.counters.net.of(MsgType::AtomicReply));
+    EXPECT_EQ(r.counters.net.of(MsgType::AtomicReq), r.counters.mem.atomics);
+  }
+}
+
+TEST(Conservation, WiInvalAcksMatchInvals) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::WI;
+  cfg.nprocs = 8;
+  const auto r = harness::run_barrier_experiment(
+      cfg, harness::BarrierKind::Central, {.episodes = 50});
+  EXPECT_EQ(r.counters.net.of(MsgType::Inval), r.counters.net.of(MsgType::InvalAck));
+}
+
+TEST(Conservation, WiExclusiveGrantsMatchExclDones) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::WI;
+  cfg.nprocs = 8;
+  const auto r = harness::run_lock_experiment(cfg, harness::LockKind::Mcs,
+                                              {.total_acquires = 320});
+  const auto& n = r.counters.net;
+  EXPECT_EQ(n.of(MsgType::DataX) + n.of(MsgType::OwnerDataX) + n.of(MsgType::UpgAck),
+            n.of(MsgType::ExclDone));
+}
+
+TEST(Conservation, WiDataRepliesMatchReadAndWriteMisses) {
+  // Every WI miss transaction receives exactly one data reply; upgrades
+  // receive UpgAck (unless converted to DataX by a race, in which case the
+  // miss ledger still balances against replies + upgrade acks).
+  MachineConfig cfg;
+  cfg.protocol = Protocol::WI;
+  cfg.nprocs = 8;
+  const auto r = harness::run_lock_experiment(cfg, harness::LockKind::Ticket,
+                                              {.total_acquires = 320});
+  const auto& n = r.counters.net;
+  const auto replies = n.of(MsgType::DataS) + n.of(MsgType::OwnerDataS) +
+                       n.of(MsgType::DataX) + n.of(MsgType::OwnerDataX) +
+                       n.of(MsgType::UpgAck);
+  EXPECT_EQ(replies, r.counters.misses.total() + r.counters.misses.exclusive_requests);
+}
+
+TEST(Conservation, WritebacksAllAcked) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::WI;
+  cfg.nprocs = 4;
+  cfg.cache_bytes = 512;  // force eviction writebacks
+  Machine m(cfg);
+  const Addr base = m.alloc().allocate(64 * mem::kBlockSize, mem::kBlockSize);
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    sim::Rng rng(sim::Rng::derive(5, c.id()));
+    for (int i = 0; i < 200; ++i) {
+      const Addr a = base + rng.below(64) * mem::kBlockSize;
+      if (rng.below(2))
+        co_await c.store(a, rng.next());
+      else
+        (void)co_await c.load(a);
+    }
+    co_await c.fence();
+  });
+  const auto& n = m.counters().net;
+  EXPECT_EQ(n.of(MsgType::Writeback), n.of(MsgType::WritebackAck));
+  EXPECT_GT(n.of(MsgType::Writeback), 0u) << "workload must actually evict";
+}
+
+TEST(Conservation, DropsPairWithPrunesAndDropMisses) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::CU;
+  cfg.nprocs = 16;
+  const auto r = harness::run_barrier_experiment(
+      cfg, harness::BarrierKind::Central, {.episodes = 100});
+  const auto& ctr = r.counters;
+  EXPECT_EQ(ctr.updates[stats::UpdateClass::Drop], ctr.net.of(MsgType::Prune));
+  // Every drop eventually causes at most one drop miss (the block may not
+  // be re-referenced before the run ends).
+  EXPECT_LE(ctr.misses[stats::MissClass::Drop], ctr.updates[stats::UpdateClass::Drop]);
+  EXPECT_GT(ctr.updates[stats::UpdateClass::Drop], 0u);
+}
+
+TEST(Conservation, MissesEqualFillsPlusWriteAllocates) {
+  // Under PU, every classified miss is a GetS fetch (read miss,
+  // write-allocate, or atomic fill). GetS count >= miss count minus
+  // atomic fills, and every GetS gets one DataS.
+  MachineConfig cfg;
+  cfg.protocol = Protocol::PU;
+  cfg.nprocs = 8;
+  const auto r = harness::run_barrier_experiment(
+      cfg, harness::BarrierKind::Dissemination, {.episodes = 50});
+  EXPECT_EQ(r.counters.net.of(MsgType::GetS), r.counters.net.of(MsgType::DataS));
+  EXPECT_EQ(r.counters.net.of(MsgType::GetS), r.counters.misses.total());
+}
+
+} // namespace

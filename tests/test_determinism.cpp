@@ -1,0 +1,80 @@
+// Determinism: identical configuration => identical cycle counts and
+// traffic, across every protocol and construct. This is the invariant that
+// makes the figure benches reproducible.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using harness::BarrierKind;
+using harness::LockKind;
+using harness::MachineConfig;
+using harness::ReductionKind;
+using proto::Protocol;
+
+MachineConfig cfg_of(Protocol p, unsigned n) {
+  MachineConfig c;
+  c.protocol = p;
+  c.nprocs = n;
+  return c;
+}
+
+void expect_equal(const harness::RunResult& a, const harness::RunResult& b,
+                  const char* what) {
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.counters.misses.by, b.counters.misses.by) << what;
+  EXPECT_EQ(a.counters.updates.by, b.counters.updates.by) << what;
+  EXPECT_EQ(a.counters.net.messages, b.counters.net.messages) << what;
+  EXPECT_EQ(a.counters.net.flits, b.counters.net.flits) << what;
+}
+
+TEST(Determinism, LockExperimentsAreBitExact) {
+  for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+    for (LockKind k : {LockKind::Ticket, LockKind::Mcs, LockKind::UcMcs}) {
+      const harness::LockParams params{.total_acquires = 200};
+      const auto a = harness::run_lock_experiment(cfg_of(p, 8), k, params);
+      const auto b = harness::run_lock_experiment(cfg_of(p, 8), k, params);
+      expect_equal(a, b, to_string(k).data());
+    }
+  }
+}
+
+TEST(Determinism, BarrierExperimentsAreBitExact) {
+  for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+    for (BarrierKind k :
+         {BarrierKind::Central, BarrierKind::Dissemination, BarrierKind::Tree}) {
+      const harness::BarrierParams params{.episodes = 60};
+      const auto a = harness::run_barrier_experiment(cfg_of(p, 8), k, params);
+      const auto b = harness::run_barrier_experiment(cfg_of(p, 8), k, params);
+      expect_equal(a, b, to_string(k).data());
+    }
+  }
+}
+
+TEST(Determinism, ReductionExperimentsAreBitExact) {
+  for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+    for (ReductionKind k : {ReductionKind::Parallel, ReductionKind::Sequential}) {
+      const harness::ReductionParams params{.rounds = 40};
+      const auto a = harness::run_reduction_experiment(cfg_of(p, 8), k, params);
+      const auto b = harness::run_reduction_experiment(cfg_of(p, 8), k, params);
+      expect_equal(a, b, to_string(k).data());
+    }
+  }
+}
+
+TEST(Determinism, SeedChangesChangeVariantTiming) {
+  harness::LockParams a{.total_acquires = 200};
+  a.random_pause_max = 300;
+  a.seed = 1;
+  harness::LockParams b = a;
+  b.seed = 2;
+  const auto ra = harness::run_lock_experiment(cfg_of(Protocol::WI, 8),
+                                               LockKind::Ticket, a);
+  const auto rb = harness::run_lock_experiment(cfg_of(Protocol::WI, 8),
+                                               LockKind::Ticket, b);
+  EXPECT_NE(ra.cycles, rb.cycles) << "different seeds should perturb timing";
+}
+
+} // namespace

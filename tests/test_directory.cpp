@@ -1,0 +1,53 @@
+// Unit tests for the full-map directory.
+#include "mem/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using namespace ccsim::mem;
+
+TEST(Directory, EntriesStartUnowned) {
+  Directory d;
+  EXPECT_EQ(d.find(7), nullptr);
+  DirEntry& e = d.entry(7);
+  EXPECT_EQ(e.state, DirState::Unowned);
+  EXPECT_EQ(e.sharers, 0u);
+  EXPECT_NE(d.find(7), nullptr);
+}
+
+TEST(Directory, SharerBitOperations) {
+  DirEntry e;
+  e.add_sharer(0);
+  e.add_sharer(31);
+  EXPECT_TRUE(e.has_sharer(0));
+  EXPECT_TRUE(e.has_sharer(31));
+  EXPECT_FALSE(e.has_sharer(5));
+  EXPECT_EQ(e.sharer_count(), 2u);
+  e.remove_sharer(0);
+  EXPECT_FALSE(e.has_sharer(0));
+  EXPECT_EQ(e.sharer_count(), 1u);
+  e.remove_sharer(0);  // idempotent
+  EXPECT_EQ(e.sharer_count(), 1u);
+}
+
+TEST(Directory, OnlySharerIs) {
+  DirEntry e;
+  e.add_sharer(4);
+  EXPECT_TRUE(e.only_sharer_is(4));
+  EXPECT_FALSE(e.only_sharer_is(3));
+  e.add_sharer(9);
+  EXPECT_FALSE(e.only_sharer_is(4));
+  e.remove_sharer(9);
+  EXPECT_TRUE(e.only_sharer_is(4));
+}
+
+TEST(Directory, AllThirtyTwoSharers) {
+  DirEntry e;
+  for (NodeId i = 0; i < 32; ++i) e.add_sharer(i);
+  EXPECT_EQ(e.sharer_count(), 32u);
+  for (NodeId i = 0; i < 32; ++i) EXPECT_TRUE(e.has_sharer(i));
+}
+
+} // namespace

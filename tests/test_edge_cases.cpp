@@ -1,0 +1,208 @@
+// Edge cases: write-buffer-full stalls, byte-granular flags, tiny caches
+// under every protocol, odd machine sizes, recall chains, CU threshold 1,
+// and maximum-size (32-processor) construct runs.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using harness::Machine;
+using harness::MachineConfig;
+using proto::Protocol;
+
+TEST(EdgeCases, WriteBufferFullStallsAndRecovers) {
+  // Fire more back-to-back stores than the 4-entry buffer can hold while
+  // the head is blocked on a write-allocate fetch: the processor must
+  // stall, the stall cycles must be counted, and all stores must land.
+  for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+    MachineConfig cfg;
+    cfg.protocol = p;
+    cfg.nprocs = 2;
+    Machine m(cfg);
+    const Addr base = m.alloc().allocate(8 * mem::kBlockSize, mem::kBlockSize);
+    m.run({[&](cpu::Cpu& c) -> sim::Task {
+      for (int i = 0; i < 8; ++i)
+        co_await c.store(base + i * mem::kBlockSize, 100 + i);  // 8 cold blocks
+      co_await c.fence();
+    }});
+    for (int i = 0; i < 8; ++i)
+      EXPECT_EQ(m.peek(base + i * mem::kBlockSize), 100u + i) << proto::to_string(p);
+    EXPECT_GT(m.counters().mem.write_buffer_stalls, 0u) << proto::to_string(p);
+  }
+}
+
+TEST(EdgeCases, ByteGranularSharedAccess) {
+  // The tree barrier writes single bytes; check the primitive directly:
+  // four processors each own one byte of the same word.
+  for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+    MachineConfig cfg;
+    cfg.protocol = p;
+    cfg.nprocs = 4;
+    Machine m(cfg);
+    const Addr w = m.alloc().allocate_on(0, 8);
+    m.run_all([&](cpu::Cpu& c) -> sim::Task {
+      co_await c.store(w + c.id(), 0x10 + c.id(), 1);
+      co_await c.fence();
+    });
+    for (unsigned i = 0; i < 4; ++i)
+      EXPECT_EQ(m.peek(w + i, 1), 0x10u + i) << proto::to_string(p) << " byte " << i;
+  }
+}
+
+TEST(EdgeCases, TinyCacheConstructsStillCorrect) {
+  // A 256-byte cache (4 lines) forces constant evictions of the very
+  // blocks the constructs spin on.
+  for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+    MachineConfig cfg;
+    cfg.protocol = p;
+    cfg.nprocs = 4;
+    cfg.cache_bytes = 256;
+    Machine m(cfg);
+    sync::TicketLock lock(m);
+    sync::DisseminationBarrier barrier(m);
+    const Addr ctr = m.alloc().allocate_on(0, 8);
+    m.run_all([&](cpu::Cpu& c) -> sim::Task {
+      for (int i = 0; i < 10; ++i) {
+        co_await lock.acquire(c);
+        const std::uint64_t v = co_await c.load(ctr);
+        co_await c.store(ctr, v + 1);
+        co_await lock.release(c);
+        co_await barrier.wait(c);
+      }
+    });
+    EXPECT_EQ(m.peek(ctr), 40u) << proto::to_string(p);
+    EXPECT_GT(m.counters().misses[stats::MissClass::Eviction], 0u)
+        << "the tiny cache should evict " << proto::to_string(p);
+  }
+}
+
+TEST(EdgeCases, OddProcessorCounts) {
+  for (unsigned n : {3u, 7u, 13u}) {
+    for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+      MachineConfig cfg;
+      cfg.protocol = p;
+      cfg.nprocs = n;
+      const auto r = harness::run_barrier_experiment(
+          cfg, harness::BarrierKind::Dissemination, {.episodes = 25});
+      EXPECT_GT(r.cycles, 0u) << n << " " << proto::to_string(p);
+    }
+  }
+}
+
+TEST(EdgeCases, RecallChainUnderPU) {
+  // Private-mode ping-pong: two writers alternate bursts on the same
+  // block, each burst re-entering private mode, each switch a recall.
+  MachineConfig cfg;
+  cfg.protocol = Protocol::PU;
+  cfg.nprocs = 2;
+  Machine m(cfg);
+  const Addr a = m.alloc().allocate_on(0, 8);
+  const Addr turn = m.alloc().allocate_on(1, 8);
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    for (int round = 0; round < 6; ++round) {
+      co_await c.spin_until(turn, [round, me = c.id()](std::uint64_t v) {
+        return v == static_cast<std::uint64_t>(2 * round + me);
+      });
+      const std::uint64_t start = co_await c.load(a);
+      for (int k = 1; k <= 5; ++k) co_await c.store(a, start + k);
+      co_await c.fence();
+      co_await c.store(turn, 2 * round + c.id() + 1);
+    }
+  });
+  EXPECT_EQ(m.peek(a), 60u);
+  EXPECT_GT(m.counters().net.of(net::MsgType::Recall), 0u)
+      << "alternating private writers must trigger recalls";
+}
+
+TEST(EdgeCases, CuThresholdOneInvalidatesOnFirstUpdate) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::CU;
+  cfg.nprocs = 2;
+  cfg.cu_threshold = 1;
+  Machine m(cfg);
+  const Addr a = m.alloc().allocate_on(1, 8);
+  const Addr flag = m.alloc().allocate_on(1, 8);
+  std::vector<Machine::Program> ps;
+  ps.push_back([&](cpu::Cpu& c) -> sim::Task {
+    (void)co_await c.load(a);  // cache it
+    co_await c.store(flag, 1);
+    co_await c.spin_until(flag, [](std::uint64_t v) { return v == 2; });
+  });
+  ps.push_back([&](cpu::Cpu& c) -> sim::Task {
+    co_await c.spin_until(flag, [](std::uint64_t v) { return v == 1; });
+    co_await c.store(a, 9);
+    co_await c.fence();
+    co_await c.store(flag, 2);
+  });
+  m.run(ps);
+  // At threshold 1 every first update drops a copy: the data block at the
+  // reader, and the spun-on flag copies at both ends.
+  EXPECT_GE(m.counters().updates[stats::UpdateClass::Drop], 1u);
+  EXPECT_EQ(m.node(0).cache_ctrl().cache().find(mem::block_of(a)), nullptr);
+}
+
+TEST(EdgeCases, FullMachineEveryConstructOnce) {
+  // 32 processors, one pass through every construct family per protocol.
+  for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+    MachineConfig cfg;
+    cfg.protocol = p;
+    cfg.nprocs = 32;
+    Machine m(cfg);
+    sync::McsLock lock(m);
+    sync::CombiningTreeBarrier barrier(m);
+    sync::SequentialReduction red(m, barrier);
+    const Addr acc = m.alloc().allocate_on(0, 8);
+    m.run_all([&](cpu::Cpu& c) -> sim::Task {
+      co_await lock.acquire(c);
+      const std::uint64_t v = co_await c.load(acc);
+      co_await c.store(acc, v + 1);
+      co_await lock.release(c);
+      std::uint64_t result = 0;
+      co_await red.reduce(c, c.id() + 1, &result);
+      if (result != 32) throw std::logic_error("bad 32-proc reduction");
+    });
+    EXPECT_EQ(m.peek(acc), 32u) << proto::to_string(p);
+  }
+}
+
+TEST(EdgeCases, SingleProcessorEveryConstruct) {
+  for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+    MachineConfig cfg;
+    cfg.protocol = p;
+    cfg.nprocs = 1;
+    Machine m(cfg);
+    sync::TicketLock tk(m);
+    sync::McsLock mcs(m);
+    sync::TasLock tas(m);
+    sync::CentralBarrier cb(m);
+    sync::DisseminationBarrier db(m);
+    sync::TreeBarrier tb(m);
+    sync::CombiningTreeBarrier ct(m);
+    m.run_all([&](cpu::Cpu& c) -> sim::Task {
+      co_await tk.acquire(c);
+      co_await tk.release(c);
+      co_await mcs.acquire(c);
+      co_await mcs.release(c);
+      co_await tas.acquire(c);
+      co_await tas.release(c);
+      co_await cb.wait(c);
+      co_await db.wait(c);
+      co_await tb.wait(c);
+      co_await ct.wait(c);
+    });
+  }
+}
+
+TEST(EdgeCases, FenceWithNothingOutstandingIsImmediate) {
+  MachineConfig cfg;
+  cfg.nprocs = 1;
+  Machine m(cfg);
+  const Cycle t = m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    for (int i = 0; i < 50; ++i) co_await c.fence();
+  });
+  EXPECT_LT(t, 100u);
+}
+
+} // namespace

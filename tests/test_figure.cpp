@@ -1,0 +1,120 @@
+// Table formatting / CLI parsing used by the figure benches.
+#include "harness/cli.hpp"
+#include "harness/figure.hpp"
+#include "stats/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+namespace {
+
+using namespace ccsim;
+using harness::BenchOptions;
+using harness::Table;
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "p=1", "p=32"});
+  t.add_row({"ticket/WI", "12.5", "2657.1"});
+  t.add_row({"MCS/CU", "7.0", "190.0"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ticket/WI"), std::string::npos);
+  EXPECT_NE(out.find("2657.1"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 1), "3.1");
+  EXPECT_EQ(Table::num(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::num(std::uint64_t{12345}), "12345");
+}
+
+TEST(Figure, PaperProcCounts) {
+  EXPECT_EQ(harness::paper_proc_counts(),
+            (std::vector<unsigned>{1, 2, 4, 8, 16, 32}));
+}
+
+TEST(Figure, MissCellsMatchHeaders) {
+  stats::MissCounts m;
+  m[stats::MissClass::Cold] = 3;
+  m.exclusive_requests = 7;
+  const auto cells = harness::miss_cells(m);
+  ASSERT_EQ(cells.size(), harness::miss_headers().size());
+  EXPECT_EQ(cells[0], "3");
+  EXPECT_EQ(cells[5], "3");  // total
+  EXPECT_EQ(cells[6], "7");  // excl-req
+}
+
+TEST(Figure, UpdateCellsMatchHeaders) {
+  stats::UpdateCounts u;
+  u[stats::UpdateClass::TrueSharing] = 10;
+  u[stats::UpdateClass::Drop] = 2;
+  const auto cells = harness::update_cells(u);
+  ASSERT_EQ(cells.size(), harness::update_headers().size());
+  EXPECT_EQ(cells[0], "10");
+  EXPECT_EQ(cells[5], "2");
+  EXPECT_EQ(cells[6], "12");  // total
+}
+
+TEST(Cli, Defaults) {
+  unsetenv("REPRO_SCALE");
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const BenchOptions o = harness::parse_bench_args(1, argv);
+  EXPECT_FALSE(o.csv);
+  EXPECT_EQ(o.procs.size(), 6u);
+  EXPECT_GT(o.scale, 0.0);
+}
+
+TEST(Cli, PaperFlag) {
+  char prog[] = "bench", paper[] = "--paper";
+  char* argv[] = {prog, paper};
+  EXPECT_EQ(harness::parse_bench_args(2, argv).scale, 1.0);
+}
+
+TEST(Cli, ScaleAndProcsAndCsv) {
+  char prog[] = "bench", s[] = "--scale=0.25", p[] = "--procs=2,8", c[] = "--csv";
+  char* argv[] = {prog, s, p, c};
+  const BenchOptions o = harness::parse_bench_args(4, argv);
+  EXPECT_DOUBLE_EQ(o.scale, 0.25);
+  EXPECT_EQ(o.procs, (std::vector<unsigned>{2, 8}));
+  EXPECT_TRUE(o.csv);
+}
+
+TEST(Cli, ScaledCountsHaveFloor) {
+  char prog[] = "bench", s[] = "--scale=0.0001";
+  char* argv[] = {prog, s};
+  const BenchOptions o = harness::parse_bench_args(2, argv);
+  EXPECT_EQ(o.scaled(32000), 32u);
+}
+
+TEST(Cli, RejectsBadArgs) {
+  char prog[] = "bench", bad[] = "--bogus";
+  char* argv[] = {prog, bad};
+  EXPECT_THROW(harness::parse_bench_args(2, argv), std::invalid_argument);
+  char s2[] = "--scale=7";
+  char* argv2[] = {prog, s2};
+  EXPECT_THROW(harness::parse_bench_args(2, argv2), std::invalid_argument);
+}
+
+TEST(Cli, EnvDefaultScale) {
+  setenv("REPRO_SCALE", "0.5", 1);
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  EXPECT_DOUBLE_EQ(harness::parse_bench_args(1, argv).scale, 0.5);
+  unsetenv("REPRO_SCALE");
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+// LatencyHistogram unit tests plus the fairness observation it enables.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using stats::LatencyHistogram;
+
+TEST(Histogram, EmptyIsZeroes) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  LatencyHistogram h;
+  h.add(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.percentile(0.5), 42u);
+  EXPECT_EQ(h.percentile(0.99), 42u);
+}
+
+TEST(Histogram, PercentilesOrderedAndBounded) {
+  LatencyHistogram h;
+  for (Cycle v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 1000u);
+  const Cycle p10 = h.percentile(0.10);
+  const Cycle p50 = h.percentile(0.50);
+  const Cycle p90 = h.percentile(0.90);
+  const Cycle p99 = h.percentile(0.99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p10, h.min());
+  // Log-bucket interpolation: p50 of uniform 1..1000 should land within
+  // its power-of-two bucket (512..1000 holds ranks 512..1000, so ~500 is
+  // in bucket 256..511).
+  EXPECT_GE(p50, 256u);
+  EXPECT_LE(p50, 1000u);
+}
+
+TEST(Histogram, MeanExact) {
+  LatencyHistogram h;
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, ZeroBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.add(0);
+  h.add(100);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.max(), 100u);
+}
+
+TEST(Histogram, MergeCombines) {
+  LatencyHistogram a, b;
+  a.add(1);
+  a.add(2);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_EQ(a.min(), 1u);
+}
+
+TEST(Histogram, SummaryFormat) {
+  LatencyHistogram h;
+  h.add(5);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("max=5"), std::string::npos);
+}
+
+TEST(Histogram, LockWorkloadRecordsAcquires) {
+  harness::MachineConfig cfg;
+  cfg.protocol = proto::Protocol::WI;
+  cfg.nprocs = 4;
+  const auto r = harness::run_lock_experiment(cfg, harness::LockKind::Ticket,
+                                              {.total_acquires = 400});
+  EXPECT_EQ(r.latency.count(), 400u);
+  EXPECT_GT(r.latency.mean(), 0.0);
+}
+
+TEST(Histogram, TicketIsFairerThanTasAtTheTail) {
+  // FIFO ticket lock: bounded waits. Backoff TAS: unfair -- a spinner can
+  // lose arbitration repeatedly, fattening the tail. Compare p99/p50.
+  const auto tail_ratio = [&](bool tas) {
+    harness::MachineConfig cfg;
+    cfg.protocol = proto::Protocol::WI;
+    cfg.nprocs = 8;
+    harness::Machine m(cfg);
+    std::unique_ptr<sync::Lock> lock;
+    if (tas)
+      lock = std::make_unique<sync::TasLock>(m);
+    else
+      lock = std::make_unique<sync::TicketLock>(m);
+    stats::LatencyHistogram h;
+    m.run_all([&](cpu::Cpu& c) -> sim::Task {
+      for (int i = 0; i < 60; ++i) {
+        const Cycle t0 = c.queue().now();
+        co_await lock->acquire(c);
+        h.add(c.queue().now() - t0);
+        co_await c.think(30);
+        co_await lock->release(c);
+      }
+    });
+    return static_cast<double>(h.percentile(0.99)) /
+           std::max<double>(1.0, static_cast<double>(h.percentile(0.50)));
+  };
+  EXPECT_GT(tail_ratio(true), tail_ratio(false) * 1.5)
+      << "TAS should have a materially fatter tail than the FIFO ticket lock";
+}
+
+} // namespace

@@ -1,0 +1,64 @@
+// Unit tests for the memory module: data storage and bank contention.
+#include "mem/memory_module.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using namespace ccsim::mem;
+using AK = MemoryModule::AccessKind;
+
+TEST(MemoryModule, ZeroInitialized) {
+  MemoryModule m;
+  EXPECT_EQ(m.read_word(kSharedBase, 8), 0u);
+}
+
+TEST(MemoryModule, WordReadBack) {
+  MemoryModule m;
+  m.write_word(kSharedBase + 16, 8, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(m.read_word(kSharedBase + 16, 8), 0xdeadbeefcafef00dull);
+  EXPECT_EQ(m.read_word(kSharedBase + 16, 4), 0xcafef00du);
+  m.write_word(kSharedBase + 20, 1, 0x42);
+  EXPECT_EQ(m.read_word(kSharedBase + 20, 1), 0x42u);
+}
+
+TEST(MemoryModule, BlockReadWriteRoundTrip) {
+  MemoryModule m;
+  std::array<std::byte, kBlockSize> blk{};
+  blk[0] = std::byte{0xaa};
+  blk[63] = std::byte{0x55};
+  const BlockAddr b = block_of(kSharedBase);
+  m.write_block(b, blk);
+  EXPECT_EQ(m.read_block(b)[0], std::byte{0xaa});
+  EXPECT_EQ(m.read_block(b)[63], std::byte{0x55});
+  // word view of the same data
+  EXPECT_EQ(m.read_word(kSharedBase, 1), 0xaau);
+}
+
+TEST(MemoryModule, BankTimingDefaults) {
+  MemoryModule m;  // block_read = 20 + 7 per the paper's 20-cycle first word
+  EXPECT_EQ(m.book(0, AK::BlockRead), 27u);
+  EXPECT_EQ(m.book(100, AK::WordRead), 120u);
+}
+
+TEST(MemoryModule, BankContentionSerializes) {
+  MemoryModule m;
+  const Cycle t1 = m.book(0, AK::BlockRead);   // 0 -> 27
+  const Cycle t2 = m.book(5, AK::BlockRead);   // queued: 27 -> 54
+  const Cycle t3 = m.book(60, AK::DirOnly);    // idle again: 60 -> 62
+  EXPECT_EQ(t1, 27u);
+  EXPECT_EQ(t2, 54u);
+  EXPECT_EQ(t3, 62u);
+}
+
+TEST(MemoryModule, CustomTimings) {
+  MemTimings t;
+  t.block_read = 10;
+  t.dir_op = 1;
+  MemoryModule m(t);
+  EXPECT_EQ(m.book(0, AK::BlockRead), 10u);
+  EXPECT_EQ(m.book(10, AK::DirOnly), 11u);
+}
+
+} // namespace

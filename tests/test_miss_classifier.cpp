@@ -1,0 +1,120 @@
+// Scenario tests for the miss classifier, straight from the definitions in
+// section 3.2 of the paper.
+#include "stats/miss_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using namespace ccsim::stats;
+
+struct Fixture : ::testing::Test {
+  Counters counters;
+  MissClassifier mc{4, counters};
+  const Addr base = mem::kSharedBase;
+  const mem::BlockAddr b = mem::block_of(mem::kSharedBase);
+
+  std::uint64_t count(MissClass c) const { return counters.misses[c]; }
+};
+
+TEST_F(Fixture, FirstReferenceIsColdStart) {
+  EXPECT_EQ(mc.classify_miss(0, base), MissClass::Cold);
+  EXPECT_EQ(count(MissClass::Cold), 1u);
+}
+
+TEST_F(Fixture, EachProcessorHasItsOwnColdMiss) {
+  mc.classify_miss(0, base);
+  mc.on_fill(0, b);
+  EXPECT_EQ(mc.classify_miss(1, base), MissClass::Cold);
+  EXPECT_EQ(count(MissClass::Cold), 2u);
+}
+
+TEST_F(Fixture, TrueSharingWhenInvalidatingWordIsReferenced) {
+  // P0 caches the block; P1 writes word 0, invalidating P0; P0 re-reads
+  // word 0 -> true sharing.
+  mc.classify_miss(0, base);
+  mc.on_fill(0, b);
+  mc.on_invalidated(0, b, base);  // trigger word 0
+  mc.on_store(1, base);
+  EXPECT_EQ(mc.classify_miss(0, base), MissClass::TrueSharing);
+}
+
+TEST_F(Fixture, FalseSharingWhenOnlyOtherWordsWereWritten) {
+  mc.classify_miss(0, base);
+  mc.on_fill(0, b);
+  mc.on_invalidated(0, b, base + 8);  // P1 wrote word 1
+  mc.on_store(1, base + 8);
+  // P0 re-reads word 0, which nobody wrote -> false sharing.
+  EXPECT_EQ(mc.classify_miss(0, base), MissClass::FalseSharing);
+}
+
+TEST_F(Fixture, TriggerWordAloneSufficesWithoutVersionBump) {
+  // The invalidating write's own word counts even if on_store arrives
+  // later (e.g. still in the writer's pipeline).
+  mc.classify_miss(0, base);
+  mc.on_fill(0, b);
+  mc.on_invalidated(0, b, base + 16);
+  EXPECT_EQ(mc.classify_miss(0, base + 16), MissClass::TrueSharing);
+}
+
+TEST_F(Fixture, WritesAfterLossUpgradeFalseToTrue) {
+  mc.classify_miss(0, base);
+  mc.on_fill(0, b);
+  mc.on_invalidated(0, b, base + 8);
+  // Another processor writes word 3 while P0's copy is dead.
+  mc.on_store(2, base + 24);
+  EXPECT_EQ(mc.classify_miss(0, base + 24), MissClass::TrueSharing);
+}
+
+TEST_F(Fixture, EvictionMissRegardlessOfInterveningWrites) {
+  mc.classify_miss(0, base);
+  mc.on_fill(0, b);
+  mc.on_evicted(0, b);
+  mc.on_store(1, base);  // write after the replacement
+  EXPECT_EQ(mc.classify_miss(0, base), MissClass::Eviction);
+}
+
+TEST_F(Fixture, DropMissAfterCompetitiveInvalidation) {
+  mc.classify_miss(0, base);
+  mc.on_fill(0, b);
+  mc.on_dropped(0, b);
+  EXPECT_EQ(mc.classify_miss(0, base), MissClass::Drop);
+}
+
+TEST_F(Fixture, RefillResetsLossState) {
+  mc.classify_miss(0, base);
+  mc.on_fill(0, b);
+  mc.on_evicted(0, b);
+  mc.classify_miss(0, base);
+  mc.on_fill(0, b);
+  mc.on_invalidated(0, b, base);
+  // The eviction from before the refill must not leak through.
+  EXPECT_EQ(mc.classify_miss(0, base), MissClass::TrueSharing);
+}
+
+TEST_F(Fixture, ExclusiveRequestsCountedSeparately) {
+  mc.on_exclusive_request(0);
+  mc.on_exclusive_request(1);
+  EXPECT_EQ(counters.misses.exclusive_requests, 2u);
+  EXPECT_EQ(counters.misses.total(), 0u) << "upgrades are not misses";
+}
+
+TEST_F(Fixture, UsefulVersusUseless) {
+  mc.classify_miss(0, base);  // cold: useful
+  mc.on_fill(0, b);
+  mc.on_invalidated(0, b, base);
+  mc.classify_miss(0, base);  // true sharing: useful
+  mc.on_fill(0, b);
+  mc.on_evicted(0, b);
+  mc.classify_miss(0, base);  // eviction: useless
+  EXPECT_EQ(counters.misses.useful(), 2u);
+  EXPECT_EQ(counters.misses.useless(), 1u);
+}
+
+TEST_F(Fixture, PrivateAddressesIgnoredByStoreTracking) {
+  mc.on_store(0, 0x100);  // below the shared base: no effect, no crash
+  EXPECT_EQ(counters.misses.total(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+// Link-contention network model and consistency-model options.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace ccsim;
+using harness::Machine;
+using harness::MachineConfig;
+using net::Message;
+using net::MsgType;
+using proto::Protocol;
+
+struct Recorder final : net::MessageSink {
+  sim::EventQueue* q = nullptr;
+  std::vector<Cycle> at;
+  void deliver(const Message&) override { at.push_back(q->now()); }
+};
+
+Message mk(NodeId s, NodeId d) {
+  Message m;
+  m.src = s;
+  m.dst = d;
+  m.type = MsgType::GetS;
+  m.addr = mem::kSharedBase;
+  return m;
+}
+
+TEST(LinkContention, UncontendedLatencyMatchesEndpointModel) {
+  for (bool link : {false, true}) {
+    sim::EventQueue q;
+    net::Network::Params p;
+    p.link_contention = link;
+    net::Network net(q, net::MeshTopology(8), p, nullptr);
+    std::vector<Recorder> sinks(8);
+    for (NodeId i = 0; i < 8; ++i) {
+      sinks[i].q = &q;
+      net.attach(i, sinks[i]);
+    }
+    net.send(mk(0, 3));  // 3 hops, no competing traffic
+    q.run();
+    ASSERT_EQ(sinks[3].at.size(), 1u);
+    EXPECT_EQ(sinks[3].at[0], 3 * 2 + 8u) << "link=" << link;
+  }
+}
+
+TEST(LinkContention, SharedLinkSerializesCrossTraffic) {
+  // 4x2 mesh: 0->2 and 1->3 both traverse link 1->2 (dimension-ordered,
+  // X first). Under the endpoint model they do not interact; with link
+  // contention the second stream waits for the channel.
+  const auto second_arrival = [&](bool link) {
+    sim::EventQueue q;
+    net::Network::Params p;
+    p.link_contention = link;
+    net::Network net(q, net::MeshTopology(8), p, nullptr);
+    std::vector<Recorder> sinks(8);
+    for (NodeId i = 0; i < 8; ++i) {
+      sinks[i].q = &q;
+      net.attach(i, sinks[i]);
+    }
+    net.send(mk(0, 2));
+    net.send(mk(1, 3));
+    q.run();
+    return sinks[3].at.at(0);
+  };
+  EXPECT_GT(second_arrival(true), second_arrival(false));
+}
+
+TEST(LinkContention, DisjointRoutesDoNotInteract) {
+  sim::EventQueue q;
+  net::Network::Params p;
+  p.link_contention = true;
+  net::Network net(q, net::MeshTopology(8), p, nullptr);
+  std::vector<Recorder> sinks(8);
+  for (NodeId i = 0; i < 8; ++i) {
+    sinks[i].q = &q;
+    net.attach(i, sinks[i]);
+  }
+  net.send(mk(0, 1));
+  net.send(mk(4, 5));  // other row: disjoint links
+  q.run();
+  EXPECT_EQ(sinks[1].at.at(0), 10u);
+  EXPECT_EQ(sinks[5].at.at(0), 10u);
+}
+
+TEST(LinkContention, NextHopFollowsDimensionOrder) {
+  net::MeshTopology t(8);  // 4x2
+  EXPECT_EQ(t.next_hop(0, 3), 1u);  // X first
+  EXPECT_EQ(t.next_hop(1, 3), 2u);
+  EXPECT_EQ(t.next_hop(3, 7), 7u);  // then Y
+  EXPECT_EQ(t.next_hop(0, 7), 1u);
+  EXPECT_EQ(t.next_hop(7, 0), 6u);  // reverse direction
+}
+
+TEST(LinkContention, FullWorkloadStillCorrect) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::PU;
+  cfg.nprocs = 8;
+  cfg.net.link_contention = true;
+  Machine m(cfg);
+  sync::TicketLock lock(m);
+  const Addr ctr = m.alloc().allocate_on(0, 8);
+  m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    for (int i = 0; i < 15; ++i) {
+      co_await lock.acquire(c);
+      const std::uint64_t v = co_await c.load(ctr);
+      co_await c.store(ctr, v + 1);
+      co_await lock.release(c);
+    }
+  });
+  EXPECT_EQ(m.peek(ctr), 120u);
+}
+
+TEST(LinkContention, CongestionSlowsTheHotWorkload) {
+  const auto cycles = [&](bool link) {
+    MachineConfig cfg;
+    cfg.protocol = Protocol::PU;
+    cfg.nprocs = 32;
+    cfg.net.link_contention = link;
+    const auto r = harness::run_barrier_experiment(
+        cfg, harness::BarrierKind::Central, {.episodes = 30});
+    return r.cycles;
+  };
+  EXPECT_GT(cycles(true), cycles(false))
+      << "the central barrier's update storm must feel channel contention";
+}
+
+TEST(Consistency, SequentialStoresStallAndStayCorrect) {
+  for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+    Cycle rc_t = 0, sc_t = 0;
+    for (auto model : {proto::Consistency::Release, proto::Consistency::Sequential}) {
+      MachineConfig cfg;
+      cfg.protocol = p;
+      cfg.nprocs = 4;
+      cfg.consistency = model;
+      Machine m(cfg);
+      sync::TicketLock lock(m);
+      const Addr ctr = m.alloc().allocate_on(0, 8);
+      const Cycle t = m.run_all([&](cpu::Cpu& c) -> sim::Task {
+        for (int i = 0; i < 10; ++i) {
+          co_await lock.acquire(c);
+          const std::uint64_t v = co_await c.load(ctr);
+          co_await c.store(ctr, v + 1);
+          co_await lock.release(c);
+        }
+      });
+      EXPECT_EQ(m.peek(ctr), 40u) << proto::to_string(p);
+      (model == proto::Consistency::Release ? rc_t : sc_t) = t;
+    }
+    EXPECT_GT(sc_t, rc_t) << "SC must cost cycles under " << proto::to_string(p);
+  }
+}
+
+TEST(Consistency, ScStoreIsGloballyPerformedAtCompletion) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::PU;
+  cfg.nprocs = 2;
+  cfg.consistency = proto::Consistency::Sequential;
+  Machine m(cfg);
+  const Addr a = m.alloc().allocate_on(1, 8);
+  m.run({[&](cpu::Cpu& c) -> sim::Task {
+    co_await c.store(a, 7);
+    // No fence: under SC the store itself only completes when performed.
+    EXPECT_EQ(m.peek(a), 7u);
+  }});
+}
+
+} // namespace

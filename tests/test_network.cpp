@@ -1,0 +1,135 @@
+// Unit tests for the endpoint-contention wormhole network model.
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace ccsim;
+using net::Message;
+using net::MsgType;
+
+struct Recorder final : net::MessageSink {
+  struct Got {
+    Cycle t;
+    Message msg;
+  };
+  sim::EventQueue* q = nullptr;
+  std::vector<Got> got;
+  void deliver(const Message& m) override { got.push_back({q->now(), m}); }
+};
+
+struct NetFixture : ::testing::Test {
+  sim::EventQueue q;
+  stats::NetCounters counters;
+  net::Network net{q, net::MeshTopology(8), {}, &counters};
+  std::vector<Recorder> sinks{8};
+
+  void SetUp() override {
+    for (NodeId i = 0; i < 8; ++i) {
+      sinks[i].q = &q;
+      net.attach(i, sinks[i]);
+    }
+  }
+
+  Message mk(NodeId src, NodeId dst, MsgType t = MsgType::GetS) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.type = t;
+    m.addr = mem::kSharedBase;
+    return m;
+  }
+};
+
+TEST_F(NetFixture, ControlMessageLatency) {
+  // 16-byte header / 2-byte flits = 8 flits; 1 hop = 2 cycles.
+  net.send(mk(0, 1));
+  q.run();
+  ASSERT_EQ(sinks[1].got.size(), 1u);
+  // start 0, head arrives at 2, ejection takes 8 flits -> t = 10.
+  EXPECT_EQ(sinks[1].got[0].t, 10u);
+}
+
+TEST_F(NetFixture, BlockMessageCarriesMoreFlits) {
+  Message m = mk(0, 1, MsgType::DataS);
+  m.has_block = true;
+  net.send(m);
+  q.run();
+  // (16 + 64) / 2 = 40 flits + 2 cycles hop = 42.
+  EXPECT_EQ(sinks[1].got[0].t, 42u);
+}
+
+TEST_F(NetFixture, DistanceAddsSwitchDelay) {
+  net.send(mk(0, 3));  // 3 hops on the 4x2 mesh
+  q.run();
+  EXPECT_EQ(sinks[3].got[0].t, 3 * 2 + 8u);
+}
+
+TEST_F(NetFixture, LocalDeliveryBypassesNetwork) {
+  net.send(mk(2, 2));
+  q.run();
+  EXPECT_EQ(sinks[2].got[0].t, 1u);  // local latency
+  EXPECT_EQ(counters.messages, 0u);
+  EXPECT_EQ(counters.local, 1u);
+}
+
+TEST_F(NetFixture, SourceInjectionSerializes) {
+  net.send(mk(0, 1));
+  net.send(mk(0, 2));
+  q.run();
+  // Second message's injection starts after the first's 8 flits.
+  EXPECT_EQ(sinks[1].got[0].t, 10u);
+  EXPECT_EQ(sinks[2].got[0].t, 8 + 2 * 2 + 8u);
+}
+
+TEST_F(NetFixture, DestinationEjectionSerializes) {
+  net.send(mk(0, 1));
+  net.send(mk(2, 1));
+  q.run();
+  ASSERT_EQ(sinks[1].got.size(), 2u);
+  // Both head flits arrive at t=2; ejections serialize at 8 flits each.
+  EXPECT_EQ(sinks[1].got[0].t, 10u);
+  EXPECT_EQ(sinks[1].got[1].t, 18u);
+}
+
+TEST_F(NetFixture, SameSrcDstPairIsFifo) {
+  for (int i = 0; i < 20; ++i) {
+    Message m = mk(0, 5);
+    m.payload = static_cast<std::uint64_t>(i);
+    net.send(m);
+  }
+  q.run();
+  ASSERT_EQ(sinks[5].got.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sinks[5].got[i].msg.payload, (std::uint64_t)i);
+}
+
+TEST_F(NetFixture, CountersTrackVolume) {
+  net.send(mk(0, 1));
+  Message m = mk(1, 0, MsgType::DataS);
+  m.has_block = true;
+  net.send(m);
+  q.run();
+  EXPECT_EQ(counters.messages, 2u);
+  EXPECT_EQ(counters.flits, 8u + 40u);
+  EXPECT_EQ(counters.hops, 2u);
+}
+
+TEST(NetworkSizes, WireBytesPerType) {
+  Message m;
+  m.type = MsgType::GetS;
+  EXPECT_EQ(m.wire_bytes(), 16u);
+  m.type = MsgType::UpdateReq;
+  EXPECT_EQ(m.wire_bytes(), 24u);
+  m.type = MsgType::Update;
+  EXPECT_EQ(m.wire_bytes(), 24u);
+  m.type = MsgType::AtomicReply;
+  EXPECT_EQ(m.wire_bytes(), 24u);
+  m.type = MsgType::DataS;
+  m.has_block = true;
+  EXPECT_EQ(m.wire_bytes(), 80u);
+}
+
+} // namespace

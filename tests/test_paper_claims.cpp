@@ -1,0 +1,199 @@
+// Regression guards for the paper's section-4 findings, as recorded in
+// EXPERIMENTS.md. Each test pins one qualitative claim (who wins, which
+// direction a trade-off goes) at a scale small enough for CI; the bench
+// binaries reproduce the full tables.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using harness::BarrierKind;
+using harness::LockKind;
+using harness::MachineConfig;
+using harness::ReductionKind;
+using proto::Protocol;
+
+double lock_latency(Protocol p, unsigned n, LockKind k,
+                    std::uint64_t acquires = 1600) {
+  MachineConfig cfg;
+  cfg.protocol = p;
+  cfg.nprocs = n;
+  return harness::run_lock_experiment(cfg, k, {.total_acquires = acquires})
+      .avg_latency;
+}
+
+double barrier_latency(Protocol p, unsigned n, BarrierKind k,
+                       std::uint64_t episodes = 250) {
+  MachineConfig cfg;
+  cfg.protocol = p;
+  cfg.nprocs = n;
+  return harness::run_barrier_experiment(cfg, k, {episodes}).avg_latency;
+}
+
+double reduction_latency(Protocol p, unsigned n, ReductionKind k,
+                         std::uint64_t rounds = 250) {
+  MachineConfig cfg;
+  cfg.protocol = p;
+  cfg.nprocs = n;
+  return harness::run_reduction_experiment(cfg, k, {.rounds = rounds}).avg_latency;
+}
+
+// --- figure 8: locks -------------------------------------------------
+
+TEST(PaperClaims, TicketUpdateBeatsEverythingAtFourProcs) {
+  const double best_update =
+      std::min(lock_latency(Protocol::PU, 4, LockKind::Ticket),
+               lock_latency(Protocol::CU, 4, LockKind::Ticket));
+  EXPECT_LT(best_update, lock_latency(Protocol::WI, 4, LockKind::Ticket));
+  EXPECT_LT(best_update, lock_latency(Protocol::WI, 4, LockKind::Mcs));
+  EXPECT_LT(best_update, lock_latency(Protocol::PU, 4, LockKind::Mcs));
+  EXPECT_LT(best_update, lock_latency(Protocol::CU, 4, LockKind::Mcs));
+}
+
+TEST(PaperClaims, McsUnderCuBestLockAtSixteenProcs) {
+  const double mcs_cu = lock_latency(Protocol::CU, 16, LockKind::Mcs);
+  EXPECT_LT(mcs_cu, lock_latency(Protocol::WI, 16, LockKind::Mcs));
+  EXPECT_LT(mcs_cu, lock_latency(Protocol::PU, 16, LockKind::Mcs));
+  EXPECT_LT(mcs_cu, lock_latency(Protocol::CU, 16, LockKind::Ticket));
+  EXPECT_LT(mcs_cu, lock_latency(Protocol::WI, 16, LockKind::Ticket));
+}
+
+TEST(PaperClaims, McsUnderPuIsTheWorstMcsVariantAtThirtyTwo) {
+  const double pu = lock_latency(Protocol::PU, 32, LockKind::Mcs);
+  EXPECT_GT(pu, lock_latency(Protocol::CU, 32, LockKind::Mcs) * 1.5)
+      << "the paper's ~2x CU gap";
+  EXPECT_GT(pu, lock_latency(Protocol::WI, 32, LockKind::Mcs));
+}
+
+TEST(PaperClaims, TicketUpdateFarAheadOfTicketWiAtEverySize) {
+  for (unsigned n : {2u, 8u, 32u}) {
+    EXPECT_LT(lock_latency(Protocol::PU, n, LockKind::Ticket) * 1.5,
+              lock_latency(Protocol::WI, n, LockKind::Ticket))
+        << "P=" << n;
+  }
+}
+
+// --- figures 9/10: lock traffic --------------------------------------
+
+TEST(PaperClaims, UcMcsCutsUpdatesAndMultipliesMisses) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::PU;
+  cfg.nprocs = 32;
+  const auto mcs = harness::run_lock_experiment(cfg, LockKind::Mcs,
+                                                {.total_acquires = 1600});
+  MachineConfig cfg2 = cfg;
+  const auto uc = harness::run_lock_experiment(cfg2, LockKind::UcMcs,
+                                               {.total_acquires = 1600});
+  EXPECT_LT(uc.counters.updates.total(), mcs.counters.updates.total() * 7 / 10)
+      << "the paper reports a 39% reduction";
+  EXPECT_GT(uc.counters.misses.total(), mcs.counters.misses.total() * 10)
+      << "the paper reports 1089 -> 31588";
+}
+
+TEST(PaperClaims, McsUpdateTrafficIsMostlyUseless) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::PU;
+  cfg.nprocs = 32;
+  const auto r = harness::run_lock_experiment(cfg, LockKind::Mcs,
+                                              {.total_acquires = 1600});
+  EXPECT_GT(r.counters.updates.useless() * 1, r.counters.updates.useful() * 4)
+      << "proliferation-dominated";
+}
+
+// --- figure 11: barriers ----------------------------------------------
+
+TEST(PaperClaims, CentralBarrierCrossoverWiWinsOnlyLarge) {
+  // Small machines: update protocols win; 16+: WI wins.
+  EXPECT_LT(barrier_latency(Protocol::PU, 4, BarrierKind::Central),
+            barrier_latency(Protocol::WI, 4, BarrierKind::Central));
+  EXPECT_LT(barrier_latency(Protocol::WI, 32, BarrierKind::Central),
+            barrier_latency(Protocol::PU, 32, BarrierKind::Central));
+}
+
+TEST(PaperClaims, DisseminationUnderUpdateIsTheBestBarrierEverywhere) {
+  for (unsigned n : {4u, 16u, 32u}) {
+    const double db_u = barrier_latency(Protocol::PU, n, BarrierKind::Dissemination);
+    for (BarrierKind k :
+         {BarrierKind::Central, BarrierKind::Dissemination, BarrierKind::Tree}) {
+      for (Protocol p : {Protocol::WI, Protocol::PU, Protocol::CU}) {
+        if (k == BarrierKind::Dissemination && p != Protocol::WI) continue;
+        EXPECT_LE(db_u, barrier_latency(p, n, k) * 1.02)
+            << "P=" << n << " " << to_string(k) << "/" << proto::to_string(p);
+      }
+    }
+  }
+}
+
+TEST(PaperClaims, TreeBarrierUpdateBeatsWiEverywhere) {
+  for (unsigned n : {4u, 16u, 32u}) {
+    EXPECT_LT(barrier_latency(Protocol::PU, n, BarrierKind::Tree),
+              barrier_latency(Protocol::WI, n, BarrierKind::Tree))
+        << "P=" << n;
+  }
+}
+
+// --- figure 13: barrier update usefulness -----------------------------
+
+TEST(PaperClaims, CentralBarrierUpdatesMostlyUseless_DisseminationAllUseful) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::PU;
+  cfg.nprocs = 32;
+  const auto cb = harness::run_barrier_experiment(cfg, BarrierKind::Central,
+                                                  {.episodes = 100});
+  EXPECT_GT(cb.counters.updates.useless(), cb.counters.updates.useful() * 3);
+
+  MachineConfig cfg2 = cfg;
+  const auto db = harness::run_barrier_experiment(cfg2, BarrierKind::Dissemination,
+                                                  {.episodes = 100});
+  EXPECT_EQ(db.counters.updates.useless(), 0u);
+}
+
+// --- figure 14: reductions ---------------------------------------------
+
+TEST(PaperClaims, ReductionStrategyDependsOnProtocol) {
+  const unsigned n = 16;
+  // WI: parallel wins.
+  EXPECT_LT(reduction_latency(Protocol::WI, n, ReductionKind::Parallel),
+            reduction_latency(Protocol::WI, n, ReductionKind::Sequential));
+  // PU/CU: sequential wins.
+  EXPECT_LT(reduction_latency(Protocol::PU, n, ReductionKind::Sequential),
+            reduction_latency(Protocol::PU, n, ReductionKind::Parallel));
+  EXPECT_LT(reduction_latency(Protocol::CU, n, ReductionKind::Sequential),
+            reduction_latency(Protocol::CU, n, ReductionKind::Parallel));
+  // Update-based sequential beats WI parallel outright.
+  EXPECT_LT(reduction_latency(Protocol::PU, n, ReductionKind::Sequential),
+            reduction_latency(Protocol::WI, n, ReductionKind::Parallel));
+}
+
+// --- figure 16: reduction update usefulness ----------------------------
+
+TEST(PaperClaims, ReductionUpdatesLargelyUseful) {
+  for (ReductionKind k : {ReductionKind::Parallel, ReductionKind::Sequential}) {
+    MachineConfig cfg;
+    cfg.protocol = Protocol::PU;
+    cfg.nprocs = 16;
+    const auto r = harness::run_reduction_experiment(cfg, k, {.rounds = 150});
+    ASSERT_GT(r.counters.updates.total(), 0u);
+    EXPECT_GT(r.counters.updates.useful() * 2, r.counters.updates.total())
+        << to_string(k);
+  }
+}
+
+// --- prose: imbalance flips the reduction winner -----------------------
+
+TEST(PaperClaims, ImbalanceMakesParallelReductionCompetitive) {
+  MachineConfig cfg;
+  cfg.protocol = Protocol::PU;
+  cfg.nprocs = 16;
+  const auto pr = harness::run_reduction_experiment(
+      cfg, ReductionKind::Parallel, {.rounds = 200, .imbalance_max = 2000});
+  MachineConfig cfg2 = cfg;
+  const auto sr = harness::run_reduction_experiment(
+      cfg2, ReductionKind::Sequential, {.rounds = 200, .imbalance_max = 2000});
+  EXPECT_LT(pr.avg_latency, sr.avg_latency)
+      << "with heavy imbalance the parallel reduction overtakes";
+}
+
+} // namespace

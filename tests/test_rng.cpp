@@ -1,0 +1,60 @@
+// Unit tests for the deterministic RNG.
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using ccsim::sim::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(7);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    lo |= v == 3;
+    hi |= v == 5;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, DerivedStreamsAreIndependent) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 64; ++s) seeds.insert(Rng::derive(123, s));
+  EXPECT_EQ(seeds.size(), 64u) << "derived stream seeds must not collide";
+}
+
+TEST(Rng, RoughUniformity) {
+  Rng r(99);
+  int buckets[8] = {};
+  for (int i = 0; i < 8000; ++i) ++buckets[r.below(8)];
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_GT(buckets[i], 800);
+    EXPECT_LT(buckets[i], 1200);
+  }
+}
+
+} // namespace

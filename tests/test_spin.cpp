@@ -1,0 +1,146 @@
+// spin_until semantics: correctness of wakeups under every protocol, and
+// the traffic signature of spinning (WI re-fetches, update protocols
+// update in place).
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using harness::Machine;
+using harness::MachineConfig;
+using proto::Protocol;
+
+class Spin : public ::testing::TestWithParam<Protocol> {
+protected:
+  MachineConfig cfg(unsigned n) {
+    MachineConfig c;
+    c.protocol = GetParam();
+    c.nprocs = n;
+    return c;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, Spin,
+                         ::testing::Values(Protocol::WI, Protocol::PU, Protocol::CU),
+                         [](const auto& info) {
+                           return std::string(proto::to_string(info.param));
+                         });
+
+TEST_P(Spin, AlreadySatisfiedReturnsImmediately) {
+  Machine m(cfg(1));
+  const Addr a = m.alloc().allocate_on(0, 8);
+  m.poke(a, 3);
+  const Cycle t = m.run_all([&](cpu::Cpu& c) -> sim::Task {
+    const auto v = co_await c.spin_until(a, [](std::uint64_t v) { return v == 3; });
+    EXPECT_EQ(v, 3u);
+  });
+  EXPECT_LT(t, 200u);
+}
+
+TEST_P(Spin, WakesOnRemoteWrite) {
+  Machine m(cfg(2));
+  const Addr a = m.alloc().allocate_on(1, 8);
+  std::vector<Machine::Program> ps;
+  Cycle woke_at = 0;
+  ps.push_back([&](cpu::Cpu& c) -> sim::Task {
+    co_await c.spin_until(a, [](std::uint64_t v) { return v == 1; });
+    woke_at = c.queue().now();
+  });
+  ps.push_back([&](cpu::Cpu& c) -> sim::Task {
+    co_await c.think(500);
+    co_await c.store(a, 1);
+  });
+  m.run(ps);
+  EXPECT_GT(woke_at, 500u);
+  EXPECT_LT(woke_at, 800u) << "wakeup should follow the write promptly";
+}
+
+TEST_P(Spin, WakesOnAtomicResult) {
+  Machine m(cfg(2));
+  const Addr a = m.alloc().allocate_on(1, 8);
+  std::vector<Machine::Program> ps;
+  ps.push_back([&](cpu::Cpu& c) -> sim::Task {
+    co_await c.spin_until(a, [](std::uint64_t v) { return v == 5; });
+  });
+  ps.push_back([&](cpu::Cpu& c) -> sim::Task {
+    for (int i = 0; i < 5; ++i) {
+      co_await c.think(100);
+      (void)co_await c.fetch_add(a, 1);
+    }
+  });
+  m.run(ps);
+}
+
+TEST_P(Spin, ManyWaitersAllWake) {
+  Machine m(cfg(8));
+  const Addr a = m.alloc().allocate_on(0, 8);
+  int woke = 0;
+  std::vector<Machine::Program> ps;
+  for (int i = 0; i < 7; ++i) {
+    ps.push_back([&](cpu::Cpu& c) -> sim::Task {
+      co_await c.spin_until(a, [](std::uint64_t v) { return v != 0; });
+      ++woke;
+    });
+  }
+  ps.push_back([&](cpu::Cpu& c) -> sim::Task {
+    co_await c.think(200);
+    co_await c.store(a, 1);
+  });
+  m.run(ps);
+  EXPECT_EQ(woke, 7);
+}
+
+TEST_P(Spin, SequenceOfValuesObservedMonotonically) {
+  Machine m(cfg(2));
+  const Addr a = m.alloc().allocate_on(1, 8);
+  std::vector<Machine::Program> ps;
+  ps.push_back([&](cpu::Cpu& c) -> sim::Task {
+    std::uint64_t last = 0;
+    for (int k = 1; k <= 10; ++k) {
+      const auto v = co_await c.spin_until(
+          a, [k](std::uint64_t v) { return v >= (std::uint64_t)k; });
+      EXPECT_GE(v, last);
+      last = v;
+    }
+  });
+  ps.push_back([&](cpu::Cpu& c) -> sim::Task {
+    for (int k = 1; k <= 10; ++k) {
+      co_await c.think(50);
+      co_await c.store(a, (std::uint64_t)k);
+    }
+  });
+  m.run(ps);
+}
+
+TEST(SpinTraffic, WiSpinnersRefetchUpdateSpinnersDoNot) {
+  const auto run = [&](Protocol p) {
+    MachineConfig c;
+    c.protocol = p;
+    c.nprocs = 2;
+    Machine m(c);
+    const Addr a = m.alloc().allocate_on(1, 8);
+    std::vector<Machine::Program> ps;
+    ps.push_back([&, a](cpu::Cpu& cc) -> sim::Task {
+      co_await cc.spin_until(a, [](std::uint64_t v) { return v == 20; });
+    });
+    ps.push_back([&, a](cpu::Cpu& cc) -> sim::Task {
+      for (int k = 1; k <= 20; ++k) {
+        co_await cc.think(100);
+        co_await cc.store(a, (std::uint64_t)k);
+      }
+    });
+    m.run(ps);
+    return m.counters();
+  };
+  const auto wi = run(Protocol::WI);
+  const auto pu = run(Protocol::PU);
+  // The WI spinner misses after every one of the ~20 invalidations; the PU
+  // spinner's copy is updated in place (no misses beyond cold).
+  EXPECT_GE(wi.misses[stats::MissClass::TrueSharing], 15u);
+  EXPECT_LE(pu.misses.total(), 3u);
+  EXPECT_GE(pu.updates[stats::UpdateClass::TrueSharing], 15u);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+// Unit tests for the coroutine task type.
+#include "sim/event_queue.hpp"
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using ccsim::sim::delay;
+using ccsim::sim::EventQueue;
+using ccsim::sim::Task;
+
+Task trivial(int& out) {
+  out = 42;
+  co_return;
+}
+
+TEST(Task, LazyUntilStarted) {
+  int out = 0;
+  Task t = trivial(out);
+  EXPECT_EQ(out, 0);
+  EXPECT_FALSE(t.done());
+  t.start();
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(t.done());
+}
+
+Task waits(EventQueue& q, int& out) {
+  co_await delay(q, 10);
+  out = 1;
+  co_await delay(q, 5);
+  out = 2;
+}
+
+TEST(Task, SuspendsOnDelay) {
+  EventQueue q;
+  int out = 0;
+  Task t = waits(q, out);
+  t.start();
+  EXPECT_EQ(out, 0);
+  q.run();
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(q.now(), 15u);
+  EXPECT_TRUE(t.done());
+}
+
+Task child(EventQueue& q, int& out) {
+  co_await delay(q, 3);
+  ++out;
+}
+
+Task parent(EventQueue& q, int& out) {
+  co_await child(q, out);
+  co_await child(q, out);
+  out *= 10;
+}
+
+TEST(Task, NestedTasksCompose) {
+  EventQueue q;
+  int out = 0;
+  Task t = parent(q, out);
+  t.start();
+  q.run();
+  EXPECT_EQ(out, 20);
+  EXPECT_EQ(q.now(), 6u);
+}
+
+TEST(Task, OnDoneFires) {
+  EventQueue q;
+  int out = 0;
+  bool done_flag = false;
+  Task t = waits(q, out);
+  t.start([&] { done_flag = true; });
+  EXPECT_FALSE(done_flag);
+  q.run();
+  EXPECT_TRUE(done_flag);
+}
+
+Task thrower(EventQueue& q) {
+  co_await delay(q, 1);
+  throw std::runtime_error("boom");
+}
+
+TEST(Task, ExceptionPropagatesThroughAwait) {
+  EventQueue q;
+  bool caught = false;
+  auto outer = [&](EventQueue& qq) -> Task {
+    try {
+      co_await thrower(qq);
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  };
+  Task t = outer(q);
+  t.start();
+  q.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, RootExceptionRethrownViaCheck) {
+  EventQueue q;
+  Task t = thrower(q);
+  t.start();
+  q.run();
+  EXPECT_THROW(t.rethrow_if_failed(), std::runtime_error);
+}
+
+Task deep(EventQueue& q, int depth, int& leaf) {
+  if (depth == 0) {
+    co_await delay(q, 1);
+    leaf = 99;
+    co_return;
+  }
+  co_await deep(q, depth - 1, leaf);
+}
+
+TEST(Task, DeepNestingSymmetricTransfer) {
+  EventQueue q;
+  int leaf = 0;
+  // Deep chains must not overflow the host stack (symmetric transfer).
+  Task t = deep(q, 50000, leaf);
+  t.start();
+  q.run();
+  EXPECT_EQ(leaf, 99);
+}
+
+} // namespace

@@ -1,0 +1,55 @@
+// Unit tests for the mesh topology.
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using ccsim::net::MeshTopology;
+
+TEST(Topology, PaperSizes) {
+  // The paper's sweep: 1, 2, 4, 8, 16, 32 processors.
+  struct Want {
+    unsigned n, x, y;
+  } cases[] = {{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {8, 4, 2}, {16, 4, 4}, {32, 8, 4}};
+  for (const auto& c : cases) {
+    MeshTopology t(c.n);
+    EXPECT_EQ(t.dim_x(), c.x) << c.n;
+    EXPECT_EQ(t.dim_y(), c.y) << c.n;
+    EXPECT_GE(t.dim_x() * t.dim_y(), c.n);
+  }
+}
+
+TEST(Topology, CoordsRowMajor) {
+  MeshTopology t(8, 4);
+  EXPECT_EQ(t.coords(0), std::make_pair(0u, 0u));
+  EXPECT_EQ(t.coords(7), std::make_pair(7u, 0u));
+  EXPECT_EQ(t.coords(8), std::make_pair(0u, 1u));
+  EXPECT_EQ(t.coords(31), std::make_pair(7u, 3u));
+}
+
+TEST(Topology, HopsAreManhattanDistance) {
+  MeshTopology t(8, 4);
+  EXPECT_EQ(t.hops(0, 0), 0u);
+  EXPECT_EQ(t.hops(0, 1), 1u);
+  EXPECT_EQ(t.hops(0, 8), 1u);
+  EXPECT_EQ(t.hops(0, 9), 2u);
+  EXPECT_EQ(t.hops(0, 31), 10u);  // 7 in x + 3 in y
+  EXPECT_EQ(t.hops(31, 0), 10u);  // symmetric
+}
+
+TEST(Topology, HopsSymmetricExhaustive) {
+  MeshTopology t(32);
+  for (unsigned a = 0; a < 32; ++a)
+    for (unsigned b = 0; b < 32; ++b) EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+}
+
+TEST(Topology, TriangleInequality) {
+  MeshTopology t(16);
+  for (unsigned a = 0; a < 16; ++a)
+    for (unsigned b = 0; b < 16; ++b)
+      for (unsigned c = 0; c < 16; ++c)
+        EXPECT_LE(t.hops(a, c), t.hops(a, b) + t.hops(b, c));
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+// Scenario tests for the update classifier (paper section 3.2 / [2]).
+#include "stats/update_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ccsim;
+using namespace ccsim::stats;
+
+struct Fixture : ::testing::Test {
+  Counters counters;
+  UpdateClassifier uc{4, counters};
+  const Addr w0 = mem::kSharedBase;
+  const Addr w1 = mem::kSharedBase + 8;
+  const mem::BlockAddr b = mem::block_of(mem::kSharedBase);
+
+  std::uint64_t count(UpdateClass c) const { return counters.updates[c]; }
+};
+
+TEST_F(Fixture, ReferencedUpdateIsTrueSharing) {
+  uc.on_update_applied(0, w0);
+  uc.on_reference(0, w0);
+  EXPECT_EQ(count(UpdateClass::TrueSharing), 1u);
+}
+
+TEST_F(Fixture, StoreToUpdatedWordAlsoCountsAsReference) {
+  uc.on_update_applied(0, w0);
+  uc.on_reference(0, w0);  // the controller reports loads and stores alike
+  uc.on_update_applied(0, w0);
+  uc.finalize();
+  EXPECT_EQ(count(UpdateClass::TrueSharing), 1u);
+  EXPECT_EQ(count(UpdateClass::Termination), 1u);
+}
+
+TEST_F(Fixture, OverwrittenUnreferencedUpdateIsProliferation) {
+  uc.on_update_applied(0, w0);
+  uc.on_update_applied(0, w0);  // overwrites the pending one
+  EXPECT_EQ(count(UpdateClass::Proliferation), 1u);
+}
+
+TEST_F(Fixture, OtherWordActivityMakesItFalseSharing) {
+  uc.on_update_applied(0, w0);
+  uc.on_reference(0, w1);       // touches another word of the block
+  uc.on_update_applied(0, w0);  // overwrite ends the lifetime
+  EXPECT_EQ(count(UpdateClass::FalseSharing), 1u);
+  EXPECT_EQ(count(UpdateClass::Proliferation), 0u);
+}
+
+TEST_F(Fixture, SuccessiveUselessUpdatesAreProliferationNotFalse) {
+  // The paper: successive useless updates to the same word classify as
+  // proliferation unless ACTIVE false sharing is detected.
+  for (int i = 0; i < 5; ++i) uc.on_update_applied(0, w0);
+  EXPECT_EQ(count(UpdateClass::Proliferation), 4u);
+  EXPECT_EQ(count(UpdateClass::FalseSharing), 0u);
+}
+
+TEST_F(Fixture, ReplacementEndsLifetimes) {
+  uc.on_update_applied(0, w0);
+  uc.on_update_applied(0, w1);
+  uc.on_block_replaced(0, b);
+  EXPECT_EQ(count(UpdateClass::Replacement), 2u);
+}
+
+TEST_F(Fixture, TerminationAtProgramEnd) {
+  uc.on_update_applied(0, w0);
+  uc.finalize();
+  EXPECT_EQ(count(UpdateClass::Termination), 1u);
+}
+
+TEST_F(Fixture, TerminationWithOtherWordActivityIsFalseSharing) {
+  uc.on_update_applied(0, w0);
+  uc.on_reference(0, w1);
+  uc.finalize();
+  EXPECT_EQ(count(UpdateClass::FalseSharing), 1u);
+  EXPECT_EQ(count(UpdateClass::Termination), 0u);
+}
+
+TEST_F(Fixture, DropUpdateCountsOnceAndFlushesBlock) {
+  uc.on_update_applied(0, w0);  // pending, unreferenced
+  uc.on_drop_update(0, w1);     // this arrival trips the CU counter
+  EXPECT_EQ(count(UpdateClass::Drop), 1u);
+  EXPECT_EQ(count(UpdateClass::Proliferation), 1u) << "pending update dies unconsumed";
+}
+
+TEST_F(Fixture, PerProcessorLifetimesAreIndependent) {
+  uc.on_update_applied(0, w0);
+  uc.on_update_applied(1, w0);
+  uc.on_reference(0, w0);
+  uc.finalize();
+  EXPECT_EQ(count(UpdateClass::TrueSharing), 1u);
+  EXPECT_EQ(count(UpdateClass::Termination), 1u);
+}
+
+TEST_F(Fixture, ReferenceWithoutPendingIsNoop) {
+  uc.on_reference(0, w0);
+  uc.on_reference(2, w1);
+  EXPECT_EQ(counters.updates.total(), 0u);
+}
+
+TEST_F(Fixture, FinalizeIsIdempotent) {
+  uc.on_update_applied(0, w0);
+  uc.finalize();
+  uc.finalize();
+  EXPECT_EQ(counters.updates.total(), 1u);
+}
+
+} // namespace
