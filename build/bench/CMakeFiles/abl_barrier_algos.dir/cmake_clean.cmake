@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_barrier_algos.dir/abl_barrier_algos.cpp.o"
+  "CMakeFiles/abl_barrier_algos.dir/abl_barrier_algos.cpp.o.d"
+  "abl_barrier_algos"
+  "abl_barrier_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_barrier_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

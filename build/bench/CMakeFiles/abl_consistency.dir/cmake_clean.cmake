@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_consistency.dir/abl_consistency.cpp.o"
+  "CMakeFiles/abl_consistency.dir/abl_consistency.cpp.o.d"
+  "abl_consistency"
+  "abl_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

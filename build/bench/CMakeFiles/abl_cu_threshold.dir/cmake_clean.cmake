@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cu_threshold.dir/abl_cu_threshold.cpp.o"
+  "CMakeFiles/abl_cu_threshold.dir/abl_cu_threshold.cpp.o.d"
+  "abl_cu_threshold"
+  "abl_cu_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cu_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lock_algos.dir/abl_lock_algos.cpp.o"
+  "CMakeFiles/abl_lock_algos.dir/abl_lock_algos.cpp.o.d"
+  "abl_lock_algos"
+  "abl_lock_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lock_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lock_fairness.dir/abl_lock_fairness.cpp.o"
+  "CMakeFiles/abl_lock_fairness.dir/abl_lock_fairness.cpp.o.d"
+  "abl_lock_fairness"
+  "abl_lock_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lock_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

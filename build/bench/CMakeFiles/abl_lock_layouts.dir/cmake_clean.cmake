@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lock_layouts.dir/abl_lock_layouts.cpp.o"
+  "CMakeFiles/abl_lock_layouts.dir/abl_lock_layouts.cpp.o.d"
+  "abl_lock_layouts"
+  "abl_lock_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lock_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mcs_layout.dir/abl_mcs_layout.cpp.o"
+  "CMakeFiles/abl_mcs_layout.dir/abl_mcs_layout.cpp.o.d"
+  "abl_mcs_layout"
+  "abl_mcs_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mcs_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_network_contention.dir/abl_network_contention.cpp.o"
+  "CMakeFiles/abl_network_contention.dir/abl_network_contention.cpp.o.d"
+  "abl_network_contention"
+  "abl_network_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_network_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reduction_atomic.dir/abl_reduction_atomic.cpp.o"
+  "CMakeFiles/abl_reduction_atomic.dir/abl_reduction_atomic.cpp.o.d"
+  "abl_reduction_atomic"
+  "abl_reduction_atomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reduction_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

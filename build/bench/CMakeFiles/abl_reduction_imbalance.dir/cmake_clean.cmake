@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reduction_imbalance.dir/abl_reduction_imbalance.cpp.o"
+  "CMakeFiles/abl_reduction_imbalance.dir/abl_reduction_imbalance.cpp.o.d"
+  "abl_reduction_imbalance"
+  "abl_reduction_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reduction_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_suite.dir/app_suite.cpp.o"
+  "CMakeFiles/app_suite.dir/app_suite.cpp.o.d"
+  "app_suite"
+  "app_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_lock_latency.dir/fig08_lock_latency.cpp.o"
+  "CMakeFiles/fig08_lock_latency.dir/fig08_lock_latency.cpp.o.d"
+  "fig08_lock_latency"
+  "fig08_lock_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_lock_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

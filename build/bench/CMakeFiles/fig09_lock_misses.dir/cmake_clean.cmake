@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_lock_misses.dir/fig09_lock_misses.cpp.o"
+  "CMakeFiles/fig09_lock_misses.dir/fig09_lock_misses.cpp.o.d"
+  "fig09_lock_misses"
+  "fig09_lock_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_lock_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lock_updates.dir/fig10_lock_updates.cpp.o"
+  "CMakeFiles/fig10_lock_updates.dir/fig10_lock_updates.cpp.o.d"
+  "fig10_lock_updates"
+  "fig10_lock_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lock_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_barrier_misses.dir/fig12_barrier_misses.cpp.o"
+  "CMakeFiles/fig12_barrier_misses.dir/fig12_barrier_misses.cpp.o.d"
+  "fig12_barrier_misses"
+  "fig12_barrier_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_barrier_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_barrier_updates.dir/fig13_barrier_updates.cpp.o"
+  "CMakeFiles/fig13_barrier_updates.dir/fig13_barrier_updates.cpp.o.d"
+  "fig13_barrier_updates"
+  "fig13_barrier_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_barrier_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_reduction_latency.dir/fig14_reduction_latency.cpp.o"
+  "CMakeFiles/fig14_reduction_latency.dir/fig14_reduction_latency.cpp.o.d"
+  "fig14_reduction_latency"
+  "fig14_reduction_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_reduction_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_reduction_updates.dir/fig16_reduction_updates.cpp.o"
+  "CMakeFiles/fig16_reduction_updates.dir/fig16_reduction_updates.cpp.o.d"
+  "fig16_reduction_updates"
+  "fig16_reduction_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_reduction_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barnes_hut_reduction.dir/barnes_hut_reduction.cpp.o"
+  "CMakeFiles/barnes_hut_reduction.dir/barnes_hut_reduction.cpp.o.d"
+  "barnes_hut_reduction"
+  "barnes_hut_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barnes_hut_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

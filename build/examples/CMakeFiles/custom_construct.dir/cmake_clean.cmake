@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_construct.dir/custom_construct.cpp.o"
+  "CMakeFiles/custom_construct.dir/custom_construct.cpp.o.d"
+  "custom_construct"
+  "custom_construct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

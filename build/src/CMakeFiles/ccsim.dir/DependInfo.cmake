@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/kernels.cpp" "src/CMakeFiles/ccsim.dir/apps/kernels.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/apps/kernels.cpp.o.d"
+  "/root/repo/src/cpu/cpu.cpp" "src/CMakeFiles/ccsim.dir/cpu/cpu.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/cpu/cpu.cpp.o.d"
+  "/root/repo/src/cpu/processor.cpp" "src/CMakeFiles/ccsim.dir/cpu/processor.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/cpu/processor.cpp.o.d"
+  "/root/repo/src/harness/cli.cpp" "src/CMakeFiles/ccsim.dir/harness/cli.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/harness/cli.cpp.o.d"
+  "/root/repo/src/harness/figure.cpp" "src/CMakeFiles/ccsim.dir/harness/figure.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/harness/figure.cpp.o.d"
+  "/root/repo/src/harness/machine.cpp" "src/CMakeFiles/ccsim.dir/harness/machine.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/harness/machine.cpp.o.d"
+  "/root/repo/src/harness/workloads.cpp" "src/CMakeFiles/ccsim.dir/harness/workloads.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/harness/workloads.cpp.o.d"
+  "/root/repo/src/mem/address.cpp" "src/CMakeFiles/ccsim.dir/mem/address.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/mem/address.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/ccsim.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/directory.cpp" "src/CMakeFiles/ccsim.dir/mem/directory.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/mem/directory.cpp.o.d"
+  "/root/repo/src/mem/memory_module.cpp" "src/CMakeFiles/ccsim.dir/mem/memory_module.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/mem/memory_module.cpp.o.d"
+  "/root/repo/src/mem/shared_alloc.cpp" "src/CMakeFiles/ccsim.dir/mem/shared_alloc.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/mem/shared_alloc.cpp.o.d"
+  "/root/repo/src/mem/write_buffer.cpp" "src/CMakeFiles/ccsim.dir/mem/write_buffer.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/mem/write_buffer.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/ccsim.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/ccsim.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/ccsim.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/net/topology.cpp.o.d"
+  "/root/repo/src/proto/hybrid.cpp" "src/CMakeFiles/ccsim.dir/proto/hybrid.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/proto/hybrid.cpp.o.d"
+  "/root/repo/src/proto/node.cpp" "src/CMakeFiles/ccsim.dir/proto/node.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/proto/node.cpp.o.d"
+  "/root/repo/src/proto/protocol.cpp" "src/CMakeFiles/ccsim.dir/proto/protocol.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/proto/protocol.cpp.o.d"
+  "/root/repo/src/proto/update_cache.cpp" "src/CMakeFiles/ccsim.dir/proto/update_cache.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/proto/update_cache.cpp.o.d"
+  "/root/repo/src/proto/update_home.cpp" "src/CMakeFiles/ccsim.dir/proto/update_home.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/proto/update_home.cpp.o.d"
+  "/root/repo/src/proto/wi_cache.cpp" "src/CMakeFiles/ccsim.dir/proto/wi_cache.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/proto/wi_cache.cpp.o.d"
+  "/root/repo/src/proto/wi_home.cpp" "src/CMakeFiles/ccsim.dir/proto/wi_home.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/proto/wi_home.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/ccsim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/ccsim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/task.cpp" "src/CMakeFiles/ccsim.dir/sim/task.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sim/task.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/ccsim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/stats/counters.cpp" "src/CMakeFiles/ccsim.dir/stats/counters.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/stats/counters.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/ccsim.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/miss_classifier.cpp" "src/CMakeFiles/ccsim.dir/stats/miss_classifier.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/stats/miss_classifier.cpp.o.d"
+  "/root/repo/src/stats/report.cpp" "src/CMakeFiles/ccsim.dir/stats/report.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/stats/report.cpp.o.d"
+  "/root/repo/src/stats/update_classifier.cpp" "src/CMakeFiles/ccsim.dir/stats/update_classifier.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/stats/update_classifier.cpp.o.d"
+  "/root/repo/src/sync/atomic_reduction.cpp" "src/CMakeFiles/ccsim.dir/sync/atomic_reduction.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sync/atomic_reduction.cpp.o.d"
+  "/root/repo/src/sync/barriers.cpp" "src/CMakeFiles/ccsim.dir/sync/barriers.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sync/barriers.cpp.o.d"
+  "/root/repo/src/sync/magic_sync.cpp" "src/CMakeFiles/ccsim.dir/sync/magic_sync.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sync/magic_sync.cpp.o.d"
+  "/root/repo/src/sync/mcs_lock.cpp" "src/CMakeFiles/ccsim.dir/sync/mcs_lock.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sync/mcs_lock.cpp.o.d"
+  "/root/repo/src/sync/reductions.cpp" "src/CMakeFiles/ccsim.dir/sync/reductions.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sync/reductions.cpp.o.d"
+  "/root/repo/src/sync/simple_locks.cpp" "src/CMakeFiles/ccsim.dir/sync/simple_locks.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sync/simple_locks.cpp.o.d"
+  "/root/repo/src/sync/ticket_lock.cpp" "src/CMakeFiles/ccsim.dir/sync/ticket_lock.cpp.o" "gcc" "src/CMakeFiles/ccsim.dir/sync/ticket_lock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic_reduction.dir/test_atomic_reduction.cpp.o"
+  "CMakeFiles/test_atomic_reduction.dir/test_atomic_reduction.cpp.o.d"
+  "test_atomic_reduction"
+  "test_atomic_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

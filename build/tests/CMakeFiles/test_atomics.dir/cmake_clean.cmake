@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomics.dir/test_atomics.cpp.o"
+  "CMakeFiles/test_atomics.dir/test_atomics.cpp.o.d"
+  "test_atomics"
+  "test_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

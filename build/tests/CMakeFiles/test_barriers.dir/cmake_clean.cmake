@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barriers.dir/test_barriers.cpp.o"
+  "CMakeFiles/test_barriers.dir/test_barriers.cpp.o.d"
+  "test_barriers"
+  "test_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

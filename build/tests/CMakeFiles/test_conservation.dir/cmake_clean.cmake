@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conservation.dir/test_conservation.cpp.o"
+  "CMakeFiles/test_conservation.dir/test_conservation.cpp.o.d"
+  "test_conservation"
+  "test_conservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

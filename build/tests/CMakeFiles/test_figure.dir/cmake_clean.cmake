@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figure.dir/test_figure.cpp.o"
+  "CMakeFiles/test_figure.dir/test_figure.cpp.o.d"
+  "test_figure"
+  "test_figure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flush.dir/test_flush.cpp.o"
+  "CMakeFiles/test_flush.dir/test_flush.cpp.o.d"
+  "test_flush"
+  "test_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

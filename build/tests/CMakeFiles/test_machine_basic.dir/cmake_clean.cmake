@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_basic.dir/test_machine_basic.cpp.o"
+  "CMakeFiles/test_machine_basic.dir/test_machine_basic.cpp.o.d"
+  "test_machine_basic"
+  "test_machine_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_magic_sync.dir/test_magic_sync.cpp.o"
+  "CMakeFiles/test_magic_sync.dir/test_magic_sync.cpp.o.d"
+  "test_magic_sync"
+  "test_magic_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_magic_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

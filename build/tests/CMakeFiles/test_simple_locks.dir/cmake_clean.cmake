@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simple_locks.dir/test_simple_locks.cpp.o"
+  "CMakeFiles/test_simple_locks.dir/test_simple_locks.cpp.o.d"
+  "test_simple_locks"
+  "test_simple_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simple_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_classifier.dir/test_update_classifier.cpp.o"
+  "CMakeFiles/test_update_classifier.dir/test_update_classifier.cpp.o.d"
+  "test_update_classifier"
+  "test_update_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_protocol.dir/test_update_protocol.cpp.o"
+  "CMakeFiles/test_update_protocol.dir/test_update_protocol.cpp.o.d"
+  "test_update_protocol"
+  "test_update_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

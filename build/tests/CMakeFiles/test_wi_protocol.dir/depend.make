@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wi_protocol.
+# This may be replaced when dependencies are built.
