@@ -9,7 +9,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   const unsigned p = opts.procs.back();
   harness::Table t({"experiment", "RC", "SC", "SC/RC"});
 
@@ -29,8 +29,12 @@ void body(const harness::BenchOptions& opts) {
           cfg.consistency = m;
           harness::LockParams params;
           params.total_acquires = opts.scaled(32000);
-          return harness::run_lock_experiment(cfg, harness::LockKind::Mcs, params)
-              .avg_latency;
+          obs.configure(cfg, "MCS/" + std::string(proto::to_string(proto)) +
+                                 (m == proto::Consistency::Release ? "/RC" : "/SC"));
+          const auto r =
+              harness::run_lock_experiment(cfg, harness::LockKind::Mcs, params);
+          obs.record(r);
+          return r.avg_latency;
         });
     row(std::string("barrier db/") + std::string(proto::to_string(proto)),
         [&](proto::Consistency m) {
@@ -38,9 +42,12 @@ void body(const harness::BenchOptions& opts) {
           cfg.protocol = proto;
           cfg.nprocs = p;
           cfg.consistency = m;
-          return harness::run_barrier_experiment(
-                     cfg, harness::BarrierKind::Dissemination, {opts.scaled(5000)})
-              .avg_latency;
+          obs.configure(cfg, "db/" + std::string(proto::to_string(proto)) +
+                                 (m == proto::Consistency::Release ? "/RC" : "/SC"));
+          const auto r = harness::run_barrier_experiment(
+              cfg, harness::BarrierKind::Dissemination, {opts.scaled(5000)});
+          obs.record(r);
+          return r.avg_latency;
         });
     row(std::string("reduction sr/") + std::string(proto::to_string(proto)),
         [&](proto::Consistency m) {
@@ -48,10 +55,13 @@ void body(const harness::BenchOptions& opts) {
           cfg.protocol = proto;
           cfg.nprocs = p;
           cfg.consistency = m;
-          return harness::run_reduction_experiment(
-                     cfg, harness::ReductionKind::Sequential,
-                     {.rounds = opts.scaled(5000)})
-              .avg_latency;
+          obs.configure(cfg, "sr/" + std::string(proto::to_string(proto)) +
+                                 (m == proto::Consistency::Release ? "/RC" : "/SC"));
+          const auto r = harness::run_reduction_experiment(
+              cfg, harness::ReductionKind::Sequential,
+              {.rounds = opts.scaled(5000)});
+          obs.record(r);
+          return r.avg_latency;
         });
   }
   print_table(t, opts);

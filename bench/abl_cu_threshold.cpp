@@ -9,7 +9,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   const unsigned p = opts.procs.back();
 
   harness::Table t({"workload", "thresh", "avg-lat", "misses", "drop-miss",
@@ -22,7 +22,9 @@ void body(const harness::BenchOptions& opts) {
       cfg.cu_threshold = thresh;
       harness::LockParams params;
       params.total_acquires = opts.scaled(32000);
+      obs.configure(cfg, "MCS/t" + std::to_string(thresh));
       const auto r = harness::run_lock_experiment(cfg, harness::LockKind::Mcs, params);
+      obs.record(r);
       t.add_row({"MCS lock", harness::Table::num(std::uint64_t{thresh}),
                  harness::Table::num(r.avg_latency, 1),
                  harness::Table::num(r.counters.misses.total()),
@@ -35,8 +37,10 @@ void body(const harness::BenchOptions& opts) {
       cfg.protocol = proto::Protocol::CU;
       cfg.nprocs = p;
       cfg.cu_threshold = thresh;
+      obs.configure(cfg, "cb/t" + std::to_string(thresh));
       const auto r = harness::run_barrier_experiment(
           cfg, harness::BarrierKind::Central, {opts.scaled(5000)});
+      obs.record(r);
       t.add_row({"central barrier", harness::Table::num(std::uint64_t{thresh}),
                  harness::Table::num(r.avg_latency, 1),
                  harness::Table::num(r.counters.misses.total()),

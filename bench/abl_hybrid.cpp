@@ -14,11 +14,13 @@ using namespace ccbench;
 
 namespace {
 
-Cycle run_combined(proto::Protocol machine_proto, unsigned nprocs, int rounds,
+Cycle run_combined(harness::ObsSession& obs, const std::string& label,
+                   proto::Protocol machine_proto, unsigned nprocs, int rounds,
                    bool bind) {
   harness::MachineConfig cfg;
   cfg.protocol = machine_proto;
   cfg.nprocs = nprocs;
+  obs.configure(cfg, label + "/P" + std::to_string(nprocs));
   harness::Machine m(cfg);
   sync::McsLock lock(m);
   sync::CentralBarrier barrier(m);
@@ -29,7 +31,7 @@ Cycle run_combined(proto::Protocol machine_proto, unsigned nprocs, int rounds,
     // count and sense share one block (figure 3): bind it to WI.
     m.bind_protocol(barrier.count_addr(), 2 * mem::kWordSize, proto::Protocol::WI);
   }
-  return m.run_all([&, rounds](cpu::Cpu& c) -> sim::Task {
+  const Cycle cycles = m.run_all([&, rounds](cpu::Cpu& c) -> sim::Task {
     for (int i = 0; i < rounds; ++i) {
       co_await lock.acquire(c);
       co_await c.think(50);
@@ -37,9 +39,17 @@ Cycle run_combined(proto::Protocol machine_proto, unsigned nprocs, int rounds,
       co_await barrier.wait(c);
     }
   });
+  harness::RunResult r;
+  r.cycles = cycles;
+  r.avg_latency = static_cast<double>(cycles) / static_cast<double>(rounds);
+  r.counters = m.counters();
+  r.samples = m.samples();
+  r.hot = m.hot_blocks();
+  obs.record(r);
+  return cycles;
 }
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   const int rounds = static_cast<int>(opts.scaled(2000));
   std::vector<std::string> headers{"machine"};
   for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
@@ -52,11 +62,11 @@ void body(const harness::BenchOptions& opts) {
           static_cast<double>(run(p)) / static_cast<double>(rounds), 1));
     t.add_row(std::move(cells));
   };
-  row("pure WI", [&](unsigned p) { return run_combined(proto::Protocol::WI, p, rounds, false); });
-  row("pure PU", [&](unsigned p) { return run_combined(proto::Protocol::PU, p, rounds, false); });
-  row("pure CU", [&](unsigned p) { return run_combined(proto::Protocol::CU, p, rounds, false); });
+  row("pure WI", [&](unsigned p) { return run_combined(obs, "WI", proto::Protocol::WI, p, rounds, false); });
+  row("pure PU", [&](unsigned p) { return run_combined(obs, "PU", proto::Protocol::PU, p, rounds, false); });
+  row("pure CU", [&](unsigned p) { return run_combined(obs, "CU", proto::Protocol::CU, p, rounds, false); });
   row("hybrid (lock=CU, barrier=WI)",
-      [&](unsigned p) { return run_combined(proto::Protocol::Hybrid, p, rounds, true); });
+      [&](unsigned p) { return run_combined(obs, "hybrid", proto::Protocol::Hybrid, p, rounds, true); });
   print_table(t, opts);
   if (!opts.csv)
     std::printf("\nrows are cycles per round (one critical section + one "

@@ -17,7 +17,7 @@ struct Algo {
   std::function<std::unique_ptr<sync::Lock>(harness::Machine&)> make;
 };
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   const Algo algos[] = {
       {"tas", [](harness::Machine& m) { return std::make_unique<sync::TasLock>(m); }},
       {"ttas",
@@ -42,6 +42,8 @@ void body(const harness::BenchOptions& opts) {
         harness::MachineConfig cfg;
         cfg.protocol = proto;
         cfg.nprocs = p;
+        obs.configure(cfg, series_label(algo.tag, proto) + "/P" +
+                               std::to_string(p));
         harness::Machine m(cfg);
         auto lock = algo.make(m);
         const std::uint64_t iters = std::max<std::uint64_t>(1, total / p);
@@ -54,6 +56,13 @@ void body(const harness::BenchOptions& opts) {
         });
         const double avg =
             static_cast<double>(cycles) / static_cast<double>(iters * p) - 50.0;
+        harness::RunResult r;
+        r.cycles = cycles;
+        r.avg_latency = avg;
+        r.counters = m.counters();
+        r.samples = m.samples();
+        r.hot = m.hot_blocks();
+        obs.record(r);
         row.push_back(harness::Table::num(avg, 1));
       }
       t.add_row(std::move(row));

@@ -10,7 +10,8 @@ using namespace ccbench;
 
 namespace {
 
-void run_variant(const harness::BenchOptions& opts, const char* name,
+void run_variant(const harness::BenchOptions& opts, harness::ObsSession& obs,
+                 const char* tag, const char* name,
                  harness::LockParams params) {
   std::vector<std::string> headers{"lock/proto"};
   for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
@@ -27,7 +28,11 @@ void run_variant(const harness::BenchOptions& opts, const char* name,
         harness::LockParams pp = params;
         pp.total_acquires = opts.scaled(32000);
         if (pp.work_ratio != 0) pp.work_ratio = p;  // ratio tracks machine size
+        obs.configure(cfg, std::string(tag) + "/" +
+                               series_label(lock_tag(k), proto) + "/P" +
+                               std::to_string(p));
         const auto r = harness::run_lock_experiment(cfg, k, pp);
+        obs.record(r);
         row.push_back(harness::Table::num(r.avg_latency, 1));
       }
       t.add_row(std::move(row));
@@ -38,15 +43,17 @@ void run_variant(const harness::BenchOptions& opts, const char* name,
   if (!opts.csv) std::printf("\n");
 }
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   harness::LockParams pause;
   pause.random_pause_max = 500;
-  run_variant(opts, "--- random bounded pause after release (max 500 cycles) ---",
+  run_variant(opts, obs, "pause",
+              "--- random bounded pause after release (max 500 cycles) ---",
               pause);
 
   harness::LockParams ratio;
   ratio.work_ratio = 1;  // replaced by P per machine size
-  run_variant(opts, "--- work outside/inside critical section ~= P (+-10%) ---",
+  run_variant(opts, obs, "ratio",
+              "--- work outside/inside critical section ~= P (+-10%) ---",
               ratio);
 }
 

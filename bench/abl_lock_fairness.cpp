@@ -13,7 +13,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   struct Algo {
     const char* tag;
     std::function<std::unique_ptr<sync::Lock>(harness::Machine&)> make;
@@ -37,6 +37,8 @@ void body(const harness::BenchOptions& opts) {
       harness::MachineConfig cfg;
       cfg.protocol = proto;
       cfg.nprocs = p;
+      obs.configure(cfg,
+                    series_label(algo.tag, proto) + "/P" + std::to_string(p));
       harness::Machine m(cfg);
       auto lock = algo.make(m);
       stats::LatencyHistogram h;
@@ -50,6 +52,13 @@ void body(const harness::BenchOptions& opts) {
           co_await lock->release(c);
         }
       });
+      harness::RunResult r;
+      r.avg_latency = h.mean();
+      r.counters = m.counters();
+      r.latency = h;
+      r.samples = m.samples();
+      r.hot = m.hot_blocks();
+      obs.record(r);
       const double p50 = static_cast<double>(h.percentile(0.50));
       const double p99 = static_cast<double>(h.percentile(0.99));
       t.add_row({series_label(algo.tag, proto), harness::Table::num(h.mean(), 1),

@@ -13,7 +13,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   const unsigned p = opts.procs.back();
   const std::uint64_t total = opts.scaled(32000);
   harness::Table t({"layout/proto", "avg-lat", "updates", "useful-upd",
@@ -24,6 +24,7 @@ void body(const harness::BenchOptions& opts) {
       harness::MachineConfig cfg;
       cfg.protocol = proto;
       cfg.nprocs = p;
+      obs.configure(cfg, series_label(split ? "split" : "packed", proto));
       harness::Machine m(cfg);
       sync::TicketLock lock(m, 0, split);
       const std::uint64_t iters = std::max<std::uint64_t>(1, total / p);
@@ -37,6 +38,13 @@ void body(const harness::BenchOptions& opts) {
       const double avg =
           static_cast<double>(cycles) / static_cast<double>(iters * p) - 50.0;
       const auto& ctr = m.counters();
+      harness::RunResult r;
+      r.cycles = cycles;
+      r.avg_latency = avg;
+      r.counters = ctr;
+      r.samples = m.samples();
+      r.hot = m.hot_blocks();
+      obs.record(r);
       t.add_row({series_label(split ? "split" : "packed", proto),
                  harness::Table::num(avg, 1),
                  harness::Table::num(ctr.updates.total()),

@@ -11,7 +11,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   harness::Table t({"layout/proto", "avg-lat", "misses", "updates", "useful-upd",
                     "prolif-upd"});
   const unsigned p = opts.procs.back();
@@ -22,6 +22,7 @@ void body(const harness::BenchOptions& opts) {
       harness::MachineConfig cfg;
       cfg.protocol = proto;
       cfg.nprocs = p;
+      obs.configure(cfg, series_label(padded ? "padded" : "packed", proto));
       harness::Machine m(cfg);
       sync::McsLock lock(m, /*update_conscious=*/false, /*home=*/0, padded);
       const std::uint64_t iters = std::max<std::uint64_t>(1, total / p);
@@ -35,6 +36,13 @@ void body(const harness::BenchOptions& opts) {
       const double avg =
           static_cast<double>(cycles) / static_cast<double>(iters * p) - 50.0;
       const auto& ctr = m.counters();
+      harness::RunResult r;
+      r.cycles = cycles;
+      r.avg_latency = avg;
+      r.counters = ctr;
+      r.samples = m.samples();
+      r.hot = m.hot_blocks();
+      obs.record(r);
       t.add_row({series_label(padded ? "padded" : "packed", proto),
                  harness::Table::num(avg, 1),
                  harness::Table::num(ctr.misses.total()),

@@ -11,7 +11,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   const unsigned p = opts.procs.back();
 
   harness::Table t({"experiment", "endpoint-only", "full-link", "slowdown"});
@@ -32,7 +32,11 @@ void body(const harness::BenchOptions& opts) {
         cfg.net.link_contention = link;
         harness::LockParams params;
         params.total_acquires = opts.scaled(32000);
-        return harness::run_lock_experiment(cfg, k, params).avg_latency;
+        obs.configure(cfg, series_label(lock_tag(k), proto) +
+                               (link ? "/link" : "/endpoint"));
+        const auto r = harness::run_lock_experiment(cfg, k, params);
+        obs.record(r);
+        return r.avg_latency;
       });
     }
   }
@@ -46,8 +50,12 @@ void body(const harness::BenchOptions& opts) {
             cfg.protocol = proto;
             cfg.nprocs = p;
             cfg.net.link_contention = link;
-            return harness::run_barrier_experiment(cfg, k, {opts.scaled(5000)})
-                .avg_latency;
+            obs.configure(cfg, series_label(barrier_tag(k), proto) +
+                                   (link ? "/link" : "/endpoint"));
+            const auto r =
+                harness::run_barrier_experiment(cfg, k, {opts.scaled(5000)});
+            obs.record(r);
+            return r.avg_latency;
           });
     }
   }

@@ -10,10 +10,12 @@ using namespace ccbench;
 
 namespace {
 
-double run_cas_max(proto::Protocol p, unsigned nprocs, std::uint64_t rounds) {
+double run_cas_max(harness::ObsSession& obs, proto::Protocol p,
+                   unsigned nprocs, std::uint64_t rounds) {
   harness::MachineConfig cfg;
   cfg.protocol = p;
   cfg.nprocs = nprocs;
+  obs.configure(cfg, series_label("cas", p) + "/P" + std::to_string(nprocs));
   harness::Machine m(cfg);
   sync::MagicBarrier barrier(m.queue(), nprocs);
   sync::CasMaxReduction red(m, barrier);
@@ -22,23 +24,39 @@ double run_cas_max(proto::Protocol p, unsigned nprocs, std::uint64_t rounds) {
     for (std::uint64_t r = 0; r < rounds; ++r)
       co_await red.reduce(c, rng.below(1ull << 40));
   });
-  return static_cast<double>(cycles) / static_cast<double>(rounds);
+  harness::RunResult r;
+  r.cycles = cycles;
+  r.avg_latency = static_cast<double>(cycles) / static_cast<double>(rounds);
+  r.counters = m.counters();
+  r.samples = m.samples();
+  r.hot = m.hot_blocks();
+  obs.record(r);
+  return r.avg_latency;
 }
 
-double run_atomic_sum(proto::Protocol p, unsigned nprocs, std::uint64_t rounds) {
+double run_atomic_sum(harness::ObsSession& obs, proto::Protocol p,
+                      unsigned nprocs, std::uint64_t rounds) {
   harness::MachineConfig cfg;
   cfg.protocol = p;
   cfg.nprocs = nprocs;
+  obs.configure(cfg, series_label("f&a", p) + "/P" + std::to_string(nprocs));
   harness::Machine m(cfg);
   sync::MagicBarrier barrier(m.queue(), nprocs);
   sync::AtomicSumReduction red(m, barrier);
   const Cycle cycles = m.run_all([&](cpu::Cpu& c) -> sim::Task {
     for (std::uint64_t r = 0; r < rounds; ++r) co_await red.reduce(c, c.id() + 1);
   });
-  return static_cast<double>(cycles) / static_cast<double>(rounds);
+  harness::RunResult r;
+  r.cycles = cycles;
+  r.avg_latency = static_cast<double>(cycles) / static_cast<double>(rounds);
+  r.counters = m.counters();
+  r.samples = m.samples();
+  r.hot = m.hot_blocks();
+  obs.record(r);
+  return r.avg_latency;
 }
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   const std::uint64_t rounds = opts.scaled(5000);
   std::vector<std::string> headers{"red/proto"};
   for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
@@ -53,7 +71,10 @@ void body(const harness::BenchOptions& opts) {
         harness::MachineConfig cfg;
         cfg.protocol = proto;
         cfg.nprocs = p;
+        obs.configure(cfg, series_label(reduction_tag(k), proto) + "/P" +
+                               std::to_string(p));
         const auto r = harness::run_reduction_experiment(cfg, k, {.rounds = rounds});
+        obs.record(r);
         row.push_back(harness::Table::num(r.avg_latency, 1));
       }
       t.add_row(std::move(row));
@@ -63,14 +84,14 @@ void body(const harness::BenchOptions& opts) {
   for (proto::Protocol proto : kProtocols) {
     std::vector<std::string> row{series_label("cas", proto)};
     for (unsigned p : opts.procs)
-      row.push_back(harness::Table::num(run_cas_max(proto, p, rounds), 1));
+      row.push_back(harness::Table::num(run_cas_max(obs, proto, p, rounds), 1));
     t.add_row(std::move(row));
   }
   // fetch_and_add sum (different operator; shown for its traffic shape).
   for (proto::Protocol proto : kProtocols) {
     std::vector<std::string> row{series_label("f&a", proto)};
     for (unsigned p : opts.procs)
-      row.push_back(harness::Table::num(run_atomic_sum(proto, p, rounds), 1));
+      row.push_back(harness::Table::num(run_atomic_sum(obs, proto, p, rounds), 1));
     t.add_row(std::move(row));
   }
   print_table(t, opts);

@@ -9,7 +9,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   for (Cycle imbalance : {Cycle{0}, Cycle{500}, Cycle{2000}}) {
     std::vector<std::string> headers{"red/proto"};
     for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
@@ -26,7 +26,11 @@ void body(const harness::BenchOptions& opts) {
           harness::ReductionParams params;
           params.rounds = opts.scaled(5000);
           params.imbalance_max = imbalance;
+          obs.configure(cfg, series_label(reduction_tag(k), proto) + "/imb" +
+                                 std::to_string(imbalance) + "/P" +
+                                 std::to_string(p));
           const auto r = harness::run_reduction_experiment(cfg, k, params);
+          obs.record(r);
           // Subtract the mean injected imbalance so columns stay comparable.
           row.push_back(harness::Table::num(
               r.avg_latency - static_cast<double>(imbalance) / 2.0, 1));

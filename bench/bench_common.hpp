@@ -2,6 +2,7 @@
 #pragma once
 
 #include "ccsim.hpp"
+#include "harness/obs_session.hpp"
 
 #include <cstdio>
 #include <iostream>
@@ -59,16 +60,30 @@ inline void print_table(const harness::Table& t, const harness::BenchOptions& o)
     t.print(std::cout);
 }
 
+/// Strip a leading path and a trailing extension from argv[0] to name the
+/// metrics document after the bench binary.
+inline std::string bench_name(const char* argv0) {
+  std::string s = argv0 ? argv0 : "bench";
+  if (const auto slash = s.find_last_of("/\\"); slash != std::string::npos)
+    s.erase(0, slash + 1);
+  if (const auto dot = s.rfind('.'); dot != std::string::npos && dot > 0)
+    s.erase(dot);
+  return s;
+}
+
 inline int bench_main(int argc, char** argv, const char* title,
-                      void (*body)(const harness::BenchOptions&)) {
+                      void (*body)(const harness::BenchOptions&,
+                                   harness::ObsSession&)) {
   try {
     const harness::BenchOptions opts = harness::parse_bench_args(argc, argv);
+    harness::ObsSession obs(opts.obs, bench_name(argc > 0 ? argv[0] : nullptr));
     if (!opts.csv) {
       std::printf("%s\n", title);
       std::printf("(scale=%.3g of the paper's iteration counts; --paper for full)\n\n",
                   opts.scale);
     }
-    body(opts);
+    body(opts, obs);
+    obs.finish();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

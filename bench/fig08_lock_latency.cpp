@@ -10,7 +10,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   std::vector<std::string> headers{"lock/proto"};
   for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
   harness::Table t(std::move(headers));
@@ -25,7 +25,10 @@ void body(const harness::BenchOptions& opts) {
         cfg.nprocs = p;
         harness::LockParams params;
         params.total_acquires = opts.scaled(32000);
+        obs.configure(cfg, series_label(lock_tag(k), proto) + "/P" +
+                               std::to_string(p));
         const auto r = harness::run_lock_experiment(cfg, k, params);
+        obs.record(r);
         row.push_back(harness::Table::num(r.avg_latency, 1));
       }
       t.add_row(std::move(row));

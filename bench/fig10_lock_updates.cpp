@@ -7,7 +7,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   std::vector<std::string> headers{"lock/proto"};
   for (const auto& h : harness::update_headers()) headers.push_back(h);
   harness::Table t(std::move(headers));
@@ -21,7 +21,9 @@ void body(const harness::BenchOptions& opts) {
       cfg.nprocs = p;
       harness::LockParams params;
       params.total_acquires = opts.scaled(32000);
+      obs.configure(cfg, series_label(lock_tag(k), proto));
       const auto r = harness::run_lock_experiment(cfg, k, params);
+      obs.record(r);
       std::vector<std::string> row{series_label(lock_tag(k), proto)};
       for (auto& cell : harness::update_cells(r.counters.updates)) row.push_back(cell);
       t.add_row(std::move(row));

@@ -9,7 +9,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   std::vector<std::string> headers{"barrier/proto"};
   for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
   harness::Table t(std::move(headers));
@@ -23,8 +23,11 @@ void body(const harness::BenchOptions& opts) {
         harness::MachineConfig cfg;
         cfg.protocol = proto;
         cfg.nprocs = p;
+        obs.configure(cfg, series_label(barrier_tag(k), proto) + "/P" +
+                               std::to_string(p));
         const auto r = harness::run_barrier_experiment(cfg, k,
                                                        {opts.scaled(5000)});
+        obs.record(r);
         row.push_back(harness::Table::num(r.avg_latency, 1));
       }
       t.add_row(std::move(row));

@@ -11,7 +11,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   std::vector<std::string> headers{"red/proto"};
   for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
   harness::Table t(std::move(headers));
@@ -26,7 +26,10 @@ void body(const harness::BenchOptions& opts) {
         cfg.nprocs = p;
         harness::ReductionParams params;
         params.rounds = opts.scaled(5000);
+        obs.configure(cfg, series_label(reduction_tag(k), proto) + "/P" +
+                               std::to_string(p));
         const auto r = harness::run_reduction_experiment(cfg, k, params);
+        obs.record(r);
         row.push_back(harness::Table::num(r.avg_latency, 1));
       }
       t.add_row(std::move(row));

@@ -5,7 +5,7 @@ using namespace ccbench;
 
 namespace {
 
-void body(const harness::BenchOptions& opts) {
+void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   std::vector<std::string> headers{"red/proto"};
   for (const auto& h : harness::miss_headers()) headers.push_back(h);
   harness::Table t(std::move(headers));
@@ -19,7 +19,9 @@ void body(const harness::BenchOptions& opts) {
       cfg.nprocs = p;
       harness::ReductionParams params;
       params.rounds = opts.scaled(5000);
+      obs.configure(cfg, series_label(reduction_tag(k), proto));
       const auto r = harness::run_reduction_experiment(cfg, k, params);
+      obs.record(r);
       std::vector<std::string> row{series_label(reduction_tag(k), proto)};
       for (auto& cell : harness::miss_cells(r.counters.misses)) row.push_back(cell);
       t.add_row(std::move(row));

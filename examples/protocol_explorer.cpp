@@ -2,15 +2,19 @@
 // size and print the latency plus full categorized traffic -- the tool for
 // answering "which implementation should I use on THIS machine?"
 //
-//   $ ./protocol_explorer <lock|barrier|reduction> <impl> <WI|PU|CU> [P]
+//   $ ./protocol_explorer <lock|barrier|reduction> <impl> <WI|PU|CU> [P] [obs flags]
 //
 //   impl: ticket | mcs | ucmcs        (locks)
 //         central | dissem | tree     (barriers)
 //         parallel | sequential       (reductions)
 //
+//   Observability flags (--json, --trace-out, --trace-format,
+//   --sample-interval, --hot-top) are accepted after the positionals.
+//
 //   $ ./protocol_explorer lock mcs CU 32
-//   $ ./protocol_explorer barrier dissem PU 16
+//   $ ./protocol_explorer barrier dissem PU 16 --json mcs.json --trace-out t.json
 #include "ccsim.hpp"
+#include "harness/obs_session.hpp"
 
 #include <iostream>
 #include <string>
@@ -21,7 +25,9 @@ namespace {
 
 int usage() {
   std::cerr << "usage: protocol_explorer <lock|barrier|reduction> <impl> "
-               "<WI|PU|CU> [nprocs]\n"
+               "<WI|PU|CU> [nprocs] [--json FILE] [--trace-out FILE]\n"
+               "                         [--trace-format ring|jsonl|perfetto] "
+               "[--sample-interval N] [--hot-top K]\n"
                "  lock impls:      ticket mcs ucmcs\n"
                "  barrier impls:   central dissem tree\n"
                "  reduction impls: parallel sequential\n";
@@ -45,7 +51,17 @@ int main(int argc, char** argv) {
   harness::MachineConfig cfg;
   try {
     cfg.protocol = parse_protocol(argv[3]);
-    cfg.nprocs = argc > 4 ? static_cast<unsigned>(std::stoul(argv[4])) : 32;
+    int i = 4;
+    if (i < argc && argv[i][0] != '-') {
+      cfg.nprocs = static_cast<unsigned>(std::stoul(argv[i]));
+      ++i;
+    }
+    harness::ObsOptions obs_opts;
+    for (; i < argc; ++i)
+      if (!harness::parse_obs_arg(obs_opts, argc, argv, i)) return usage();
+    harness::ObsSession obs(obs_opts, "protocol_explorer");
+    obs.configure(cfg, family + "/" + impl + "/" +
+                           std::string(proto::to_string(cfg.protocol)));
 
     harness::RunResult r;
     std::string metric;
@@ -92,6 +108,20 @@ int main(int argc, char** argv) {
     std::cout << metric << ": " << r.avg_latency << " cycles\n";
     std::cout << "total simulated cycles: " << r.cycles << "\n\n";
     stats::print_report(std::cout, r.counters);
+    if (!r.hot.empty()) {
+      std::cout << "\nhottest blocks (by attributed traffic):\n";
+      for (const auto& row : r.hot) {
+        std::cout << "  0x" << std::hex << row.base << std::dec;
+        if (!row.name.empty()) std::cout << " (" << row.name << ")";
+        std::cout << ": score=" << row.cell.score()
+                  << " misses=" << row.cell.miss_total()
+                  << " updates=" << row.cell.update_total()
+                  << " invals=" << row.cell.invals
+                  << " home_txns=" << row.cell.home_txns << "\n";
+      }
+    }
+    obs.record(r);
+    obs.finish();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -8,6 +8,7 @@
 #include "sync/ticket_lock.hpp"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace ccsim::apps {
@@ -48,19 +49,25 @@ std::unique_ptr<sync::Lock> make_lock(harness::Machine& m, harness::LockKind k,
 // SOR
 // ---------------------------------------------------------------------
 
-KernelResult run_sor(proto::Protocol p, unsigned nprocs, const SorParams& params) {
+KernelResult run_sor(proto::Protocol p, unsigned nprocs,
+                    const SorParams& params,
+                    const harness::ObsConfig* obs) {
   harness::MachineConfig cfg;
   cfg.protocol = p;
   cfg.nprocs = nprocs;
+  if (obs) cfg.obs = *obs;
   harness::Machine m(cfg);
   auto barrier = make_barrier(m, params.barrier);
 
   const unsigned cells = params.cells_per_proc;
   std::vector<Addr> band(nprocs), halo_lo(nprocs), halo_hi(nprocs);
   for (NodeId i = 0; i < nprocs; ++i) {
-    band[i] = m.alloc().allocate_on(i, cells * mem::kWordSize);
-    halo_lo[i] = m.alloc().allocate_on(i, mem::kWordSize);
-    halo_hi[i] = m.alloc().allocate_on(i, mem::kWordSize);
+    band[i] = m.alloc().allocate_on(i, cells * mem::kWordSize,
+                                    "stencil.band" + std::to_string(i));
+    halo_lo[i] = m.alloc().allocate_on(i, mem::kWordSize,
+                                       "stencil.halo_lo" + std::to_string(i));
+    halo_hi[i] = m.alloc().allocate_on(i, mem::kWordSize,
+                                       "stencil.halo_hi" + std::to_string(i));
   }
   m.poke(band[0], 1'000'000);  // hot left boundary
 
@@ -123,6 +130,8 @@ KernelResult run_sor(proto::Protocol p, unsigned nprocs, const SorParams& params
     for (unsigned k = 0; k < cells && res.correct; ++k)
       res.correct = m.peek(band[i] + k * mem::kWordSize) == oracle[i * cells + k];
   res.counters = m.counters();
+  res.samples = m.samples();
+  res.hot = m.hot_blocks();
   return res;
 }
 
@@ -131,10 +140,12 @@ KernelResult run_sor(proto::Protocol p, unsigned nprocs, const SorParams& params
 // ---------------------------------------------------------------------
 
 KernelResult run_histogram(proto::Protocol p, unsigned nprocs,
-                           const HistogramParams& params) {
+                    const HistogramParams& params,
+                    const harness::ObsConfig* obs) {
   harness::MachineConfig cfg;
   cfg.protocol = p;
   cfg.nprocs = nprocs;
+  if (obs) cfg.obs = *obs;
   harness::Machine m(cfg);
 
   // One bucket counter + one lock per bucket, distributed round-robin.
@@ -142,7 +153,8 @@ KernelResult run_histogram(proto::Protocol p, unsigned nprocs,
   std::vector<std::unique_ptr<sync::Lock>> lock(params.buckets);
   for (unsigned b = 0; b < params.buckets; ++b) {
     const NodeId home = static_cast<NodeId>(b % nprocs);
-    bucket[b] = m.alloc().allocate_on(home, mem::kWordSize);
+    bucket[b] = m.alloc().allocate_on(home, mem::kWordSize,
+                                      "hist.bucket" + std::to_string(b));
     lock[b] = make_lock(m, params.lock, home);
   }
 
@@ -171,6 +183,8 @@ KernelResult run_histogram(proto::Protocol p, unsigned nprocs,
   for (unsigned b = 0; b < params.buckets && res.correct; ++b)
     res.correct = m.peek(bucket[b]) == expect[b];
   res.counters = m.counters();
+  res.samples = m.samples();
+  res.hot = m.hot_blocks();
   return res;
 }
 
@@ -179,10 +193,12 @@ KernelResult run_histogram(proto::Protocol p, unsigned nprocs,
 // ---------------------------------------------------------------------
 
 KernelResult run_nbody_step(proto::Protocol p, unsigned nprocs,
-                            const NbodyParams& params) {
+                    const NbodyParams& params,
+                    const harness::ObsConfig* obs) {
   harness::MachineConfig cfg;
   cfg.protocol = p;
   cfg.nprocs = nprocs;
+  if (obs) cfg.obs = *obs;
   harness::Machine m(cfg);
 
   sync::TicketLock lock(m);
@@ -239,6 +255,8 @@ KernelResult run_nbody_step(proto::Protocol p, unsigned nprocs,
   });
   res.correct = ok;
   res.counters = m.counters();
+  res.samples = m.samples();
+  res.hot = m.hot_blocks();
   return res;
 }
 
@@ -247,10 +265,12 @@ KernelResult run_nbody_step(proto::Protocol p, unsigned nprocs,
 // ---------------------------------------------------------------------
 
 KernelResult run_pipeline(proto::Protocol p, unsigned nprocs,
-                          const PipelineParams& params) {
+                    const PipelineParams& params,
+                    const harness::ObsConfig* obs) {
   harness::MachineConfig cfg;
   cfg.protocol = p;
   cfg.nprocs = nprocs;
+  if (obs) cfg.obs = *obs;
   harness::Machine m(cfg);
 
   // nprocs stages connected by nprocs-1 SPSC rings. Ring i sits on the
@@ -266,9 +286,12 @@ KernelResult run_pipeline(proto::Protocol p, unsigned nprocs,
   std::vector<Ring> ring(nprocs > 1 ? nprocs - 1 : 0);
   for (unsigned i = 0; i + 1 < nprocs; ++i) {
     const NodeId home = static_cast<NodeId>(i + 1);
-    ring[i].data = m.alloc().allocate_on(home, slots * mem::kWordSize);
-    ring[i].head = m.alloc().allocate_on(home, mem::kWordSize);
-    ring[i].tail = m.alloc().allocate_on(home, mem::kWordSize);
+    ring[i].data = m.alloc().allocate_on(home, slots * mem::kWordSize,
+                                         "pipe.data" + std::to_string(i));
+    ring[i].head = m.alloc().allocate_on(home, mem::kWordSize,
+                                         "pipe.head" + std::to_string(i));
+    ring[i].tail = m.alloc().allocate_on(home, mem::kWordSize,
+                                         "pipe.tail" + std::to_string(i));
   }
 
   // Stage transform: x -> 3x + stage. Oracle for the final checksum.
@@ -278,7 +301,7 @@ KernelResult run_pipeline(proto::Protocol p, unsigned nprocs,
     for (unsigned s = 1; s < nprocs; ++s) x = 3 * x + s;
     expect += x;
   }
-  const Addr sink = m.alloc().allocate_on(nprocs - 1, mem::kWordSize);
+  const Addr sink = m.alloc().allocate_on(nprocs - 1, mem::kWordSize, "pipe.sink");
 
   KernelResult res;
   res.cycles = m.run_all([&, slots](cpu::Cpu& c) -> sim::Task {
@@ -331,6 +354,8 @@ KernelResult run_pipeline(proto::Protocol p, unsigned nprocs,
                     ? m.peek(sink) == params.items * (params.items + 1ull) / 2
                     : m.peek(sink) == expect;
   res.counters = m.counters();
+  res.samples = m.samples();
+  res.hot = m.hot_blocks();
   return res;
 }
 
@@ -339,10 +364,12 @@ KernelResult run_pipeline(proto::Protocol p, unsigned nprocs,
 // ---------------------------------------------------------------------
 
 KernelResult run_matmul(proto::Protocol p, unsigned nprocs,
-                        const MatmulParams& params) {
+                    const MatmulParams& params,
+                    const harness::ObsConfig* obs) {
   harness::MachineConfig cfg;
   cfg.protocol = p;
   cfg.nprocs = nprocs;
+  if (obs) cfg.obs = *obs;
   harness::Machine m(cfg);
   auto barrier = make_barrier(m, params.barrier);
 
@@ -350,13 +377,16 @@ KernelResult run_matmul(proto::Protocol p, unsigned nprocs,
   // Row-major shared matrices; A and C rows homed at their owning
   // processor's node, B interleaved (read by everyone).
   std::vector<Addr> a_row(n), c_row(n);
-  const Addr b_base = m.alloc().allocate(n * n * mem::kWordSize, mem::kBlockSize);
+  const Addr b_base =
+      m.alloc().allocate(n * n * mem::kWordSize, mem::kBlockSize, "mm.B");
   const auto owner = [&](unsigned row) {
     return static_cast<NodeId>(row * nprocs / n);
   };
   for (unsigned r = 0; r < n; ++r) {
-    a_row[r] = m.alloc().allocate_on(owner(r), n * mem::kWordSize);
-    c_row[r] = m.alloc().allocate_on(owner(r), n * mem::kWordSize);
+    a_row[r] = m.alloc().allocate_on(owner(r), n * mem::kWordSize,
+                                     "mm.A.row" + std::to_string(r));
+    c_row[r] = m.alloc().allocate_on(owner(r), n * mem::kWordSize,
+                                     "mm.C.row" + std::to_string(r));
   }
 
   // Host-side oracle over the same deterministic fill.
@@ -415,6 +445,8 @@ KernelResult run_matmul(proto::Protocol p, unsigned nprocs,
     for (unsigned col = 0; col < n && res.correct; ++col)
       res.correct = m.peek(c_row[r] + col * mem::kWordSize) == expect[r * n + col];
   res.counters = m.counters();
+  res.samples = m.samples();
+  res.hot = m.hot_blocks();
   return res;
 }
 

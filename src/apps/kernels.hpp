@@ -31,6 +31,10 @@ struct KernelResult {
   Cycle cycles = 0;
   stats::Counters counters;
   bool correct = false;
+  /// Per-interval counter samples (empty unless obs sampling was on).
+  obs::IntervalSeries samples;
+  /// Hottest blocks with allocator names (empty unless obs attribution).
+  std::vector<obs::HotBlockTable::Row> hot;
 };
 
 struct SorParams {
@@ -38,7 +42,9 @@ struct SorParams {
   int sweeps = 32;
   harness::BarrierKind barrier = harness::BarrierKind::Dissemination;
 };
-KernelResult run_sor(proto::Protocol p, unsigned nprocs, const SorParams& params);
+KernelResult run_sor(proto::Protocol p, unsigned nprocs,
+                    const SorParams& params,
+                    const harness::ObsConfig* obs = nullptr);
 
 struct HistogramParams {
   unsigned buckets = 16;        ///< shared buckets (one lock per bucket)
@@ -47,7 +53,8 @@ struct HistogramParams {
   std::uint64_t seed = 99;
 };
 KernelResult run_histogram(proto::Protocol p, unsigned nprocs,
-                           const HistogramParams& params);
+                    const HistogramParams& params,
+                    const harness::ObsConfig* obs = nullptr);
 
 struct NbodyParams {
   unsigned bodies_per_proc = 12;
@@ -56,14 +63,16 @@ struct NbodyParams {
   std::uint64_t seed = 7;
 };
 KernelResult run_nbody_step(proto::Protocol p, unsigned nprocs,
-                            const NbodyParams& params);
+                    const NbodyParams& params,
+                    const harness::ObsConfig* obs = nullptr);
 
 struct PipelineParams {
   unsigned items = 128;        ///< items fed into the first stage
   unsigned queue_slots = 4;    ///< ring-buffer capacity between stages
 };
 KernelResult run_pipeline(proto::Protocol p, unsigned nprocs,
-                          const PipelineParams& params);
+                    const PipelineParams& params,
+                    const harness::ObsConfig* obs = nullptr);
 
 struct MatmulParams {
   unsigned dim = 8;  ///< square matrix dimension (rows split across procs)
@@ -74,6 +83,7 @@ struct MatmulParams {
 /// reads all of B (read-shared) and its band of A; a barrier separates the
 /// fill phase from the multiply.
 KernelResult run_matmul(proto::Protocol p, unsigned nprocs,
-                        const MatmulParams& params);
+                    const MatmulParams& params,
+                    const harness::ObsConfig* obs = nullptr);
 
 } // namespace ccsim::apps

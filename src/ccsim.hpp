@@ -35,12 +35,18 @@
 #include "net/message.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "obs/hot_blocks.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/perfetto_sink.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "proto/node.hpp"
 #include "proto/protocol.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/task.hpp"
 #include "stats/counters.hpp"
+#include "stats/json.hpp"
 #include "stats/miss_classifier.hpp"
 #include "stats/report.hpp"
 #include "stats/update_classifier.hpp"

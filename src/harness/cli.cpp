@@ -19,7 +19,52 @@ std::vector<unsigned> parse_list(const std::string& s) {
   if (out.empty()) throw std::invalid_argument("--procs needs at least one value");
   return out;
 }
+
+/// Match `--flag=value` or `--flag value`; on a match, `value` is set and
+/// `i` is left on the last argv slot consumed.
+bool take_value(const std::string& flag, int argc, char** argv, int& i,
+                std::string& value) {
+  const std::string a = argv[i];
+  if (a.rfind(flag + "=", 0) == 0) {
+    value = a.substr(flag.size() + 1);
+    return true;
+  }
+  if (a == flag) {
+    if (i + 1 >= argc) throw std::invalid_argument(flag + " needs a value");
+    value = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+obs::TraceFormat parse_trace_format(const std::string& s) {
+  if (s == "ring") return obs::TraceFormat::Ring;
+  if (s == "jsonl") return obs::TraceFormat::Jsonl;
+  if (s == "perfetto") return obs::TraceFormat::Perfetto;
+  throw std::invalid_argument("--trace-format must be ring, jsonl or perfetto");
+}
 } // namespace
+
+bool parse_obs_arg(ObsOptions& o, int argc, char** argv, int& i) {
+  std::string v;
+  if (take_value("--json", argc, argv, i, v)) {
+    o.json_path = v;
+  } else if (take_value("--trace-out", argc, argv, i, v)) {
+    o.trace_path = v;
+  } else if (take_value("--trace-format", argc, argv, i, v)) {
+    o.trace_format = parse_trace_format(v);
+  } else if (take_value("--sample-interval", argc, argv, i, v)) {
+    o.sample_interval = std::strtoull(v.c_str(), nullptr, 10);
+    if (o.sample_interval == 0)
+      throw std::invalid_argument("--sample-interval must be > 0");
+  } else if (take_value("--hot-top", argc, argv, i, v)) {
+    o.hot_top_k = std::strtoull(v.c_str(), nullptr, 10);
+    if (o.hot_top_k == 0) throw std::invalid_argument("--hot-top must be > 0");
+  } else {
+    return false;
+  }
+  return true;
+}
 
 BenchOptions parse_bench_args(int argc, char** argv) {
   BenchOptions o;
@@ -34,6 +79,8 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       o.procs = parse_list(a.substr(8));
     } else if (a == "--csv") {
       o.csv = true;
+    } else if (parse_obs_arg(o.obs, argc, argv, i)) {
+      // consumed (possibly including a separate value argument)
     } else if (a == "--help" || a == "-h") {
       // handled by the bench's own usage text; ignore here
     } else {

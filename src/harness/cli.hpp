@@ -7,8 +7,18 @@
 //   --scale=X     explicit scale factor (0 < X <= 1)
 //   --procs=a,b   override the machine-size sweep
 //   --csv         emit CSV instead of the aligned table
+// Observability (everything off by default; the default output is unchanged):
+//   --json FILE           write machine-readable metrics (counters, interval
+//                         samples, hot-block table) for every run
+//   --trace-out FILE      write a structured event trace
+//   --trace-format F      ring | jsonl | perfetto (default perfetto)
+//   --sample-interval N   snapshot counter deltas every N cycles
+//   --hot-top K           report the K hottest blocks (default 16)
+// Each obs flag accepts both `--flag value` and `--flag=value`.
 // The REPRO_SCALE environment variable, if set, provides the default scale.
 #pragma once
+
+#include "obs/trace.hpp"
 
 #include <cstdint>
 #include <string>
@@ -16,10 +26,24 @@
 
 namespace ccsim::harness {
 
+/// Observability-related command-line options (shared by the benches and
+/// examples/protocol_explorer).
+struct ObsOptions {
+  std::string json_path;   ///< --json: metrics JSON output ("" = off)
+  std::string trace_path;  ///< --trace-out: trace file ("" = off)
+  obs::TraceFormat trace_format = obs::TraceFormat::Perfetto;
+  Cycle sample_interval = 0;  ///< --sample-interval (0 = off)
+  std::size_t hot_top_k = 16; ///< --hot-top
+  [[nodiscard]] bool any() const noexcept {
+    return !json_path.empty() || !trace_path.empty() || sample_interval != 0;
+  }
+};
+
 struct BenchOptions {
   double scale = 0.05;
   bool csv = false;
   std::vector<unsigned> procs{1, 2, 4, 8, 16, 32};
+  ObsOptions obs;
 
   /// Apply the scale to one of the paper's iteration counts (>= 32).
   [[nodiscard]] std::uint64_t scaled(std::uint64_t paper_count) const {
@@ -29,5 +53,10 @@ struct BenchOptions {
 };
 
 BenchOptions parse_bench_args(int argc, char** argv);
+
+/// Try to consume one observability flag at argv[i] (advancing i past a
+/// separate value argument if needed). Returns false if argv[i] is not an
+/// obs flag. Shared between parse_bench_args and the example drivers.
+bool parse_obs_arg(ObsOptions& o, int argc, char** argv, int& i);
 
 } // namespace ccsim::harness

@@ -8,14 +8,33 @@ namespace ccsim::harness {
 
 Machine::Machine(MachineConfig cfg)
     : cfg_(cfg),
-      trace_(cfg.trace ? std::make_unique<sim::TraceLog>() : nullptr),
+      trace_(cfg.trace || cfg.obs.sink ? std::make_unique<sim::TraceLog>()
+                                       : nullptr),
       alloc_(cfg.nprocs),
       misses_(cfg.nprocs, counters_),
       updates_(cfg.nprocs, counters_),
       net_(q_, net::MeshTopology(cfg.nprocs), cfg.net, &counters_.net),
-      ctx_{q_,        net_,       alloc_,           counters_,    misses_,
-           updates_,  cfg.nprocs, cfg.cu_threshold, trace_.get(), cfg.consistency,
+      hot_(cfg.obs.hot_blocks ? std::make_unique<obs::HotBlockTable>() : nullptr),
+      ctx_{q_,
+           net_,
+           alloc_,
+           counters_,
+           misses_,
+           updates_,
+           cfg.nprocs,
+           cfg.cu_threshold,
+           trace_.get(),
+           hot_.get(),
+           cfg.consistency,
            cfg.hybrid_default} {
+  if (trace_) {
+    if (cfg_.obs.sink) trace_->add_sink(cfg_.obs.sink);
+    net_.set_trace(trace_.get());
+  }
+  if (hot_) {
+    misses_.set_hot(hot_.get());
+    updates_.set_hot(hot_.get());
+  }
   nodes_.reserve(cfg_.nprocs);
   procs_.reserve(cfg_.nprocs);
   for (NodeId i = 0; i < cfg_.nprocs; ++i) {
@@ -37,7 +56,24 @@ Cycle Machine::run(const std::vector<Program>& programs) {
   for (std::size_t i = 0; i < programs.size(); ++i)
     procs_[i]->run(programs[i], [&remaining] { --remaining; });
 
-  const bool drained = q_.run_until(cfg_.max_cycles);
+  std::unique_ptr<obs::IntervalSampler> sampler;
+  if (cfg_.obs.sample_interval > 0)
+    sampler =
+        std::make_unique<obs::IntervalSampler>(cfg_.obs.sample_interval, counters_);
+
+  bool drained;
+  if (sampler) {
+    // Drive the queue manually so interval boundaries are cut at the right
+    // sim times. A self-rescheduling sampler event would keep the queue
+    // non-empty forever and defeat drain-based deadlock detection.
+    while (!q_.empty() && q_.next_time() <= cfg_.max_cycles) {
+      sampler->advance_to(q_.next_time());
+      q_.step();
+    }
+    drained = q_.empty();
+  } else {
+    drained = q_.run_until(cfg_.max_cycles);
+  }
   for (auto& p : procs_) p->rethrow_if_failed();
   if (remaining != 0) {
     std::string msg =
@@ -62,7 +98,18 @@ Cycle Machine::run(const std::vector<Program>& programs) {
     throw std::runtime_error(msg);
   }
   updates_.finalize(q_.now());
+  if (sampler) {
+    // After finalize: termination-classified updates land in the final
+    // sample, preserving "interval deltas sum to the final counters".
+    sampler->finish(q_.now());
+    samples_ = sampler->series();
+  }
   return q_.now();
+}
+
+std::vector<obs::HotBlockTable::Row> Machine::hot_blocks() const {
+  if (!hot_) return {};
+  return hot_->top(cfg_.obs.hot_top_k, &alloc_);
 }
 
 Cycle Machine::run_all(const Program& program) {

@@ -8,6 +8,9 @@
 
 #include "cpu/processor.hpp"
 #include "net/network.hpp"
+#include "obs/hot_blocks.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "proto/hybrid.hpp"
 #include "proto/node.hpp"
 #include "proto/protocol.hpp"
@@ -19,6 +22,20 @@
 #include <vector>
 
 namespace ccsim::harness {
+
+/// Observability attachments. Everything here is off by default: with the
+/// defaults a Machine behaves (and its runs cost) exactly as before.
+struct ObsConfig {
+  /// Snapshot counter deltas every N cycles (0 = no sampling).
+  Cycle sample_interval = 0;
+  /// Attribute misses/updates/invalidations/home transactions to blocks.
+  bool hot_blocks = false;
+  /// How many blocks Machine::hot_blocks() reports.
+  std::size_t hot_top_k = 16;
+  /// Structured trace sink (JSONL, Perfetto, ...). Non-owning; must outlive
+  /// the Machine. Setting a sink enables tracing even if trace is false.
+  obs::TraceSink* sink = nullptr;
+};
 
 struct MachineConfig {
   unsigned nprocs = 32;
@@ -37,6 +54,8 @@ struct MachineConfig {
   bool trace = false;
   /// Memory consistency model (the paper's machine is release consistent).
   proto::Consistency consistency = proto::Consistency::Release;
+  /// Observability: sampling, hot-block attribution, trace sinks.
+  ObsConfig obs{};
 };
 
 class Machine {
@@ -78,6 +97,14 @@ public:
   /// The attached trace log, or nullptr when MachineConfig::trace is off.
   [[nodiscard]] sim::TraceLog* trace() noexcept { return trace_.get(); }
 
+  /// Per-interval counter samples (empty unless obs.sample_interval > 0).
+  [[nodiscard]] const obs::IntervalSeries& samples() const noexcept {
+    return samples_;
+  }
+  /// Top-K hottest blocks with allocator-assigned names (empty unless
+  /// obs.hot_blocks). Valid after run().
+  [[nodiscard]] std::vector<obs::HotBlockTable::Row> hot_blocks() const;
+
 private:
   MachineConfig cfg_;
   sim::EventQueue q_;
@@ -87,7 +114,9 @@ private:
   stats::MissClassifier misses_;
   stats::UpdateClassifier updates_;
   net::Network net_;
+  std::unique_ptr<obs::HotBlockTable> hot_;
   proto::ProtocolContext ctx_;
+  obs::IntervalSeries samples_;
   std::vector<std::unique_ptr<proto::Node>> nodes_;
   std::vector<std::unique_ptr<cpu::Processor>> procs_;
   bool ran_ = false;

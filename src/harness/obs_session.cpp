@@ -1,0 +1,132 @@
+#include "harness/obs_session.hpp"
+
+#include "harness/machine.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/perfetto_sink.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace ccsim::harness {
+
+ObsSession::ObsSession(ObsOptions opts, std::string name)
+    : opts_(std::move(opts)), name_(std::move(name)) {
+  if (opts_.trace_path.empty()) return;
+  trace_file_.open(opts_.trace_path);
+  if (!trace_file_)
+    throw std::runtime_error("cannot open trace file: " + opts_.trace_path);
+  switch (opts_.trace_format) {
+    case obs::TraceFormat::Ring:
+      sink_ = std::make_unique<obs::TextSink>(trace_file_);
+      break;
+    case obs::TraceFormat::Jsonl:
+      sink_ = std::make_unique<obs::JsonlSink>(trace_file_);
+      break;
+    case obs::TraceFormat::Perfetto:
+      sink_ = std::make_unique<obs::PerfettoSink>(trace_file_);
+      break;
+  }
+}
+
+ObsSession::~ObsSession() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; an explicit finish() reports the error.
+  }
+}
+
+void ObsSession::configure(MachineConfig& cfg, std::string label) {
+  label_ = std::move(label);
+  cfg.obs.sample_interval = opts_.sample_interval;
+  cfg.obs.hot_blocks = !opts_.json_path.empty();
+  cfg.obs.hot_top_k = opts_.hot_top_k;
+  cfg.obs.sink = sink_.get();
+  if (sink_) sink_->begin_run(label_);
+}
+
+void ObsSession::record(const RunResult& r) {
+  if (!opts_.json_path.empty()) runs_.push_back({label_, r});
+}
+
+void ObsSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (sink_) {
+    sink_->finish();
+    trace_file_.close();
+  }
+  if (opts_.json_path.empty()) return;
+  std::ofstream js(opts_.json_path);
+  if (!js)
+    throw std::runtime_error("cannot open metrics file: " + opts_.json_path);
+  stats::JsonWriter w(js);
+  w.begin_object();
+  w.key("bench").value(name_);
+  w.key("runs").begin_array();
+  for (const Entry& e : runs_) write_run_json(w, e.label, e.result);
+  w.end_array();
+  w.end_object();
+  js << '\n';
+}
+
+void write_run_json(stats::JsonWriter& w, const std::string& label,
+                    const RunResult& r) {
+  w.begin_object();
+  w.key("label").value(label);
+  w.key("cycles").value(r.cycles);
+  w.key("avg_latency").value(r.avg_latency);
+  w.key("counters").raw(stats::to_json(r.counters));
+
+  if (!r.samples.empty()) {
+    w.key("samples").begin_object();
+    w.key("interval").value(r.samples.interval);
+    w.key("data").begin_array();
+    for (const obs::Sample& s : r.samples.samples) {
+      w.begin_object();
+      w.key("begin").value(s.begin);
+      w.key("end").value(s.end);
+      w.key("counters").raw(stats::to_json(s.delta));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  if (!r.hot.empty()) {
+    w.key("hot_blocks").begin_array();
+    for (const obs::HotBlockTable::Row& row : r.hot) {
+      char addr[24];
+      std::snprintf(addr, sizeof addr, "0x%" PRIx64,
+                    static_cast<std::uint64_t>(row.base));
+      w.begin_object();
+      w.key("addr").value(addr);
+      if (!row.name.empty()) w.key("name").value(row.name);
+      w.key("score").value(row.cell.score());
+      w.key("misses").begin_object();
+      for (std::size_t i = 0; i < stats::kMissClasses; ++i) {
+        if (row.cell.misses[i] == 0) continue;
+        w.key(stats::to_string(static_cast<stats::MissClass>(i)))
+            .value(row.cell.misses[i]);
+      }
+      w.end_object();
+      w.key("updates").begin_object();
+      for (std::size_t i = 0; i < stats::kUpdateClasses; ++i) {
+        if (row.cell.updates[i] == 0) continue;
+        w.key(stats::to_string(static_cast<stats::UpdateClass>(i)))
+            .value(row.cell.updates[i]);
+      }
+      w.end_object();
+      w.key("invals").value(row.cell.invals);
+      w.key("home_txns").value(row.cell.home_txns);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  w.end_object();
+}
+
+} // namespace ccsim::harness

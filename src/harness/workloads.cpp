@@ -60,6 +60,11 @@ std::unique_ptr<sync::Barrier> make_barrier(Machine& m, BarrierKind kind) {
   }
   throw std::invalid_argument("bad barrier kind");
 }
+
+void capture_obs(RunResult& r, const Machine& m) {
+  r.samples = m.samples();
+  r.hot = m.hot_blocks();
+}
 } // namespace
 
 RunResult run_lock_experiment(const MachineConfig& cfg, LockKind kind,
@@ -100,6 +105,7 @@ RunResult run_lock_experiment(const MachineConfig& cfg, LockKind kind,
   r.avg_latency = static_cast<double>(r.cycles) / static_cast<double>(executed) -
                   static_cast<double>(params.hold_cycles);
   r.counters = m.counters();
+  capture_obs(r, m);
   return r;
 }
 
@@ -129,6 +135,7 @@ RunResult run_barrier_experiment(const MachineConfig& cfg, BarrierKind kind,
   r.cycles = m.run_all(program);
   r.avg_latency = static_cast<double>(r.cycles) / static_cast<double>(params.episodes);
   r.counters = m.counters();
+  capture_obs(r, m);
   return r;
 }
 
@@ -183,6 +190,7 @@ RunResult run_reduction_experiment(const MachineConfig& cfg, ReductionKind kind,
   r.cycles = m.run_all(program);
   r.avg_latency = static_cast<double>(r.cycles) / static_cast<double>(params.rounds);
   r.counters = m.counters();
+  capture_obs(r, m);
   return r;
 }
 

@@ -28,6 +28,10 @@ struct RunResult {
   /// Distribution of individual operation latencies (lock experiments:
   /// per-acquire wait; barrier experiments: per-episode period).
   stats::LatencyHistogram latency;
+  /// Per-interval counter samples (empty unless obs.sample_interval > 0).
+  obs::IntervalSeries samples;
+  /// Hottest blocks with allocator names (empty unless obs.hot_blocks).
+  std::vector<obs::HotBlockTable::Row> hot;
 };
 
 /// Lock experiment (section 4.1): each processor acquires, holds for

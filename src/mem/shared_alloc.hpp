@@ -1,9 +1,13 @@
-// Shared-segment allocator with home placement.
+// Shared-segment allocator with home placement and symbolic names.
 //
 // The paper maps shared data "to the processors that use them most
 // frequently" (section 4). allocate_on() places a block-aligned region at a
 // chosen home node; allocate() falls back to block-level interleaving
 // across all nodes (section 3.1).
+//
+// Allocations may carry a symbolic name; name_of() resolves any address
+// back to "name+0xoffset", which the observability layer uses to label
+// hot blocks ("mcs.qnodes+0x10" instead of a raw address).
 #pragma once
 
 #include "mem/address.hpp"
@@ -11,23 +15,42 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace ccsim::mem {
 
 class SharedAllocator {
 public:
+  /// One named allocation (regions are recorded in address order).
+  struct Region {
+    Addr start = 0;
+    std::size_t size = 0;
+    std::string name;
+  };
+
   explicit SharedAllocator(unsigned nodes) : nodes_(nodes) {}
 
   /// Allocate interleaved shared memory (home = block mod nodes).
-  Addr allocate(std::size_t size, std::size_t align = kWordSize);
+  Addr allocate(std::size_t size, std::size_t align = kWordSize,
+                std::string_view name = {});
 
   /// Allocate shared memory homed at `home`. The region is padded to whole
   /// blocks so placement never splits a block.
-  Addr allocate_on(NodeId home, std::size_t size);
+  Addr allocate_on(NodeId home, std::size_t size, std::string_view name = {});
 
   /// Home node of a block.
   [[nodiscard]] NodeId home_of(BlockAddr b) const;
+
+  /// Symbolic name of the allocation containing `a` ("name+0x18"), or ""
+  /// when `a` falls outside every named region.
+  [[nodiscard]] std::string name_of(Addr a) const;
+
+  [[nodiscard]] const std::vector<Region>& regions() const noexcept {
+    return regions_;
+  }
 
   /// Protocol-domain binding (hybrid machines): tag every block of
   /// [start, start+size) with an opaque domain id. Domain 0 is the
@@ -38,10 +61,13 @@ public:
   [[nodiscard]] unsigned nodes() const noexcept { return nodes_; }
 
 private:
+  void record_region(Addr start, std::size_t size, std::string_view name);
+
   unsigned nodes_;
   Addr next_ = kSharedBase;
   std::unordered_map<BlockAddr, NodeId> placed_;
   std::unordered_map<BlockAddr, std::uint8_t> domains_;
+  std::vector<Region> regions_;  ///< named allocations, start ascending
 };
 
 } // namespace ccsim::mem

@@ -1,7 +1,32 @@
 #include "net/network.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <cassert>
+
+namespace ccsim::net {
+namespace {
+
+obs::TraceEvent net_event(obs::EventKind kind, Cycle at, Cycle dur, NodeId node,
+                          NodeId peer, const Message& msg, std::uint64_t flow) {
+  obs::TraceEvent e;
+  e.cycle = at;
+  e.dur = dur;
+  e.cat = obs::TraceCat::Net;
+  e.kind = kind;
+  e.node = node;
+  e.peer = peer;
+  e.has_msg = true;
+  e.msg = msg.type;
+  e.addr = msg.addr;
+  e.payload = msg.payload;
+  e.flow = flow;
+  return e;
+}
+
+} // namespace
+} // namespace ccsim::net
 
 namespace ccsim::net {
 
@@ -32,7 +57,20 @@ void Network::send(const Message& msg) {
   if (counters_) ++counters_->by_type[static_cast<std::size_t>(msg.type)];
   if (msg.src == msg.dst) {
     if (counters_) ++counters_->local;
-    q_.schedule(params_.local_latency, [sink, msg] { sink->deliver(msg); });
+    if (trace_) {
+      const std::uint64_t flow = trace_->next_flow_id();
+      const Cycle arrive = q_.now() + params_.local_latency;
+      trace_->event(net_event(obs::EventKind::MsgSend, q_.now(), 0, msg.src,
+                              msg.dst, msg, flow));
+      obs::TraceLog* trace = trace_;
+      q_.schedule(params_.local_latency, [sink, msg, trace, arrive, flow] {
+        trace->event(net_event(obs::EventKind::MsgRecv, arrive, 0, msg.dst,
+                               msg.src, msg, flow));
+        sink->deliver(msg);
+      });
+    } else {
+      q_.schedule(params_.local_latency, [sink, msg] { sink->deliver(msg); });
+    }
     return;
   }
 
@@ -76,7 +114,19 @@ void Network::send(const Message& msg) {
     counters_->hops += hops;
   }
 
-  q_.schedule_at(delivered, [sink, msg] { sink->deliver(msg); });
+  if (trace_) {
+    const std::uint64_t flow = trace_->next_flow_id();
+    trace_->event(net_event(obs::EventKind::MsgSend, start, flits, msg.src,
+                            msg.dst, msg, flow));
+    obs::TraceLog* trace = trace_;
+    q_.schedule_at(delivered, [sink, msg, trace, eject_start, flits, flow] {
+      trace->event(net_event(obs::EventKind::MsgRecv, eject_start, flits,
+                             msg.dst, msg.src, msg, flow));
+      sink->deliver(msg);
+    });
+  } else {
+    q_.schedule_at(delivered, [sink, msg] { sink->deliver(msg); });
+  }
 }
 
 } // namespace ccsim::net

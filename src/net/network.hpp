@@ -16,6 +16,10 @@
 
 #include <vector>
 
+namespace ccsim::obs {
+class TraceLog;
+}
+
 namespace ccsim::net {
 
 /// Receiver of delivered messages; each node registers one.
@@ -45,6 +49,11 @@ public:
   /// Register the receiver for messages addressed to node `n`.
   void attach(NodeId n, MessageSink& sink);
 
+  /// Attach a trace log; every injected message then emits a MsgSend event
+  /// at its source and a MsgRecv event at its destination, joined by a flow
+  /// id so sinks can draw message-lifetime arrows.
+  void set_trace(obs::TraceLog* trace) noexcept { trace_ = trace; }
+
   /// Inject a message. Delivery is scheduled on the event queue with full
   /// endpoint contention accounting.
   void send(const Message& msg);
@@ -59,6 +68,7 @@ private:
   MeshTopology topo_;
   Params params_;
   stats::NetCounters* counters_;
+  obs::TraceLog* trace_ = nullptr;
   std::vector<MessageSink*> sinks_;
   std::vector<Cycle> inject_free_;
   std::vector<Cycle> eject_free_;

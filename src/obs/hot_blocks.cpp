@@ -1,0 +1,42 @@
+#include "obs/hot_blocks.hpp"
+
+#include "mem/shared_alloc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ccsim::obs {
+
+std::uint64_t HotBlockTable::Cell::miss_total() const noexcept {
+  return std::accumulate(misses.begin(), misses.end(), std::uint64_t{0});
+}
+
+std::uint64_t HotBlockTable::Cell::update_total() const noexcept {
+  return std::accumulate(updates.begin(), updates.end(), std::uint64_t{0});
+}
+
+std::uint64_t HotBlockTable::Cell::score() const noexcept {
+  return miss_total() + update_total() + invals + home_txns;
+}
+
+std::vector<HotBlockTable::Row> HotBlockTable::top(
+    std::size_t k, const mem::SharedAllocator* alloc) const {
+  std::vector<Row> rows;
+  rows.reserve(table_.size());
+  for (const auto& [b, cell] : table_) {
+    Row r;
+    r.block = b;
+    r.base = mem::block_base(b);
+    if (alloc) r.name = alloc->name_of(r.base);
+    r.cell = cell;
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    const std::uint64_t sa = a.cell.score(), sb = b.cell.score();
+    return sa != sb ? sa > sb : a.block < b.block;
+  });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+} // namespace ccsim::obs

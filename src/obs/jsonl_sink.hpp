@@ -1,0 +1,27 @@
+// JSONL trace sink: one JSON object per line, one line per event.
+//
+// The machine-friendly flat rendering (--trace-format jsonl): trivially
+// consumed by jq / pandas / awk without a JSON-array parser, and safe to
+// tail while the simulation runs. Runs are delimited by {"run": <label>}
+// marker lines.
+#pragma once
+
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+namespace ccsim::obs {
+
+class JsonlSink : public TraceSink {
+public:
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+
+  void begin_run(const std::string& label) override;
+  void on_event(const TraceEvent& e) override;
+  void finish() override;
+
+private:
+  std::ostream& os_;
+};
+
+} // namespace ccsim::obs

@@ -1,0 +1,136 @@
+#include "obs/perfetto_sink.hpp"
+
+#include "stats/json.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace ccsim::obs {
+
+namespace {
+
+std::string u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%" PRIx64, v);
+  return buf;
+}
+
+/// `"pid":P,"tid":N,"ts":T` -- the track-and-time triple of every record.
+std::string where(int pid, NodeId tid, Cycle ts) {
+  return "\"pid\":" + u64(static_cast<std::uint64_t>(pid)) +
+         ",\"tid\":" + u64(tid) + ",\"ts\":" + u64(ts);
+}
+
+} // namespace
+
+PerfettoSink::PerfettoSink(std::ostream& os) : os_(os) {
+  os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+}
+
+void PerfettoSink::emit(const std::string& json) {
+  if (!first_record_) os_ << ",\n";
+  first_record_ = false;
+  os_ << json;
+}
+
+void PerfettoSink::begin_run(const std::string& label) {
+  flush_run();
+  ++pid_;
+  run_label_ = label;
+}
+
+void PerfettoSink::on_event(const TraceEvent& e) {
+  if (pid_ == 0) {  // standalone use without begin_run(): one anonymous run
+    pid_ = 1;
+    run_label_ = "run";
+  }
+  buf_.push_back(e);
+}
+
+void PerfettoSink::flush_run() {
+  if (pid_ == 0 || buf_.empty()) {
+    buf_.clear();
+    return;
+  }
+
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + u64(pid_) +
+       ",\"args\":{\"name\":\"" + stats::json_escape(run_label_) + "\"}}");
+
+  std::set<NodeId> nodes;
+  for (const TraceEvent& e : buf_)
+    if (e.node != kInvalidNode) nodes.insert(e.node);
+  for (NodeId n : nodes)
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + u64(pid_) +
+         ",\"tid\":" + u64(n) + ",\"args\":{\"name\":\"node" + u64(n) + "\"}}");
+
+  // Sort by cycle (stable: simulation order breaks ties) so every track's
+  // ts sequence is monotone in the file.
+  std::stable_sort(buf_.begin(), buf_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+
+  for (const TraceEvent& e : buf_) {
+    const std::string loc = where(pid_, e.node, e.cycle);
+    const std::string cat(to_string(e.cat));
+    switch (e.kind) {
+      case EventKind::MsgSend:
+      case EventKind::MsgRecv: {
+        const std::string name(net::to_string(e.msg));
+        const bool send = e.kind == EventKind::MsgSend;
+        if (e.dur == 0 && e.flow == 0) {
+          // Controller-level handling: an instant marker on the node track.
+          std::string rec = "{\"name\":\"" + name + "\",\"cat\":\"" + cat +
+                            "\",\"ph\":\"i\",\"s\":\"t\"," + loc +
+                            ",\"args\":{\"addr\":\"" + hex(e.addr) + "\",\"" +
+                            (send ? "to" : "from") + "\":" + u64(e.peer);
+          if (e.payload != 0) rec += ",\"pay\":" + u64(e.payload);
+          rec += "}}";
+          emit(rec);
+          break;
+        }
+        std::string rec = "{\"name\":\"" + name + "\",\"cat\":\"" + cat +
+                          "\",\"ph\":\"X\"," + loc +
+                          ",\"dur\":" + u64(e.dur > 0 ? e.dur : 1) +
+                          ",\"args\":{\"addr\":\"" + hex(e.addr) + "\",\"" +
+                          (send ? "to" : "from") + "\":" + u64(e.peer);
+        if (e.payload != 0) rec += ",\"pay\":" + u64(e.payload);
+        rec += "}}";
+        emit(rec);
+        if (e.flow != 0) {
+          if (send)
+            emit("{\"name\":\"" + name + "\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" +
+                 u64(e.flow) + "," + loc + "}");
+          else
+            emit("{\"name\":\"" + name +
+                 "\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" +
+                 u64(e.flow) + "," + loc + "}");
+        }
+        break;
+      }
+      case EventKind::Note:
+        emit("{\"name\":\"" + stats::json_escape(e.text) + "\",\"cat\":\"" + cat +
+             "\",\"ph\":\"i\",\"s\":\"t\"," + loc + "}");
+        break;
+    }
+  }
+  buf_.clear();
+}
+
+void PerfettoSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  flush_run();
+  os_ << "\n]}\n";
+  os_.flush();
+}
+
+} // namespace ccsim::obs

@@ -1,0 +1,47 @@
+// Chrome trace_event / Perfetto JSON trace sink.
+//
+// Renders one simulation (or one bench's whole sweep) as a trace loadable
+// in chrome://tracing or https://ui.perfetto.dev:
+//
+//   - each run is a "process" (pid), named by its series label, so a bench
+//     sweep shows "tk/i P=4", "MCS/u P=8", ... as collapsible groups;
+//   - each node is a "thread" (tid) inside its run: a per-node timeline;
+//   - network messages are complete slices on the injecting and receiving
+//     node's tracks (duration = port occupancy in cycles), joined by flow
+//     arrows (ph "s"/"f" with a per-message id) that draw the message's
+//     flight across tracks;
+//   - controller and CPU events are instants on their node's track.
+//
+// Simulated cycles map 1:1 to trace microseconds. Events are buffered per
+// run and sorted by timestamp before writing, so each track's `ts` sequence
+// is monotone in the file -- some consumers (and our tests) require that.
+#pragma once
+
+#include "obs/trace.hpp"
+
+#include <ostream>
+#include <vector>
+
+namespace ccsim::obs {
+
+class PerfettoSink : public TraceSink {
+public:
+  explicit PerfettoSink(std::ostream& os);
+
+  void begin_run(const std::string& label) override;
+  void on_event(const TraceEvent& e) override;
+  void finish() override;
+
+private:
+  void flush_run();
+  void emit(const std::string& json);
+
+  std::ostream& os_;
+  std::vector<TraceEvent> buf_;
+  std::string run_label_;
+  int pid_ = 0;
+  bool first_record_ = true;
+  bool finished_ = false;
+};
+
+} // namespace ccsim::obs

@@ -1,0 +1,63 @@
+// Cycle-interval metrics sampling.
+//
+// An IntervalSampler snapshots the live stats::Counters every N cycles and
+// stores the per-interval deltas as a time series, so a figure can show how
+// the miss/update class composition evolves over the lifetime of a lock,
+// barrier, or reduction loop instead of one flattened end-of-run total.
+//
+// The Machine drives it from the event loop: before executing any event at
+// time t, every interval boundary <= t is closed (an interval covers
+// [k*N, (k+1)*N)). finish() closes the final partial interval after
+// end-of-run classification (termination updates land there), which makes
+// the invariant exact: the samples sum to the run's final counters.
+#pragma once
+
+#include "sim/types.hpp"
+#include "stats/counters.hpp"
+
+#include <vector>
+
+namespace ccsim::obs {
+
+/// Counter traffic of one interval [begin, end).
+struct Sample {
+  Cycle begin = 0;
+  Cycle end = 0;
+  stats::Counters delta;
+};
+
+/// The sampled time series of one run.
+struct IntervalSeries {
+  Cycle interval = 0;  ///< configured sampling period (0 = sampling was off)
+  std::vector<Sample> samples;
+
+  [[nodiscard]] bool empty() const noexcept { return samples.empty(); }
+};
+
+class IntervalSampler {
+public:
+  /// Watch `live` (the machine's counters), cutting a sample every
+  /// `interval` cycles. `interval` must be > 0.
+  IntervalSampler(Cycle interval, const stats::Counters& live);
+
+  /// Close every interval whose end boundary is <= t (call before the
+  /// simulation clock advances to t).
+  void advance_to(Cycle t);
+
+  /// Close the final (possibly partial, possibly past-the-end) interval so
+  /// the series accounts for every counted event, including end-of-run
+  /// update finalization.
+  void finish(Cycle end);
+
+  [[nodiscard]] const IntervalSeries& series() const noexcept { return series_; }
+
+private:
+  void cut(Cycle boundary);
+
+  const stats::Counters& live_;
+  stats::Counters last_;    ///< snapshot at the last closed boundary
+  Cycle next_boundary_;
+  IntervalSeries series_;
+};
+
+} // namespace ccsim::obs

@@ -1,0 +1,102 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ccsim::obs {
+
+std::string_view to_string(TraceCat c) noexcept {
+  switch (c) {
+    case TraceCat::Cache: return "cache";
+    case TraceCat::Home: return "home";
+    case TraceCat::Cpu: return "cpu";
+    case TraceCat::Net: return "net";
+    case TraceCat::All: return "all";
+  }
+  return "?";
+}
+
+namespace {
+/// Track prefix controllers use in formatted lines ("cache3", "home1").
+std::string_view side_of(TraceCat c) noexcept {
+  switch (c) {
+    case TraceCat::Cache: return "cache";
+    case TraceCat::Home: return "home";
+    default: return "node";
+  }
+}
+} // namespace
+
+std::string format_event(const TraceEvent& e) {
+  char buf[320];
+  int n = std::snprintf(buf, sizeof buf, "t=%" PRIu64 " [%.*s] ", e.cycle,
+                        static_cast<int>(to_string(e.cat).size()),
+                        to_string(e.cat).data());
+  const auto room = [&] { return sizeof buf - static_cast<std::size_t>(n); };
+  switch (e.kind) {
+    case EventKind::MsgRecv:
+      n += std::snprintf(buf + n, room(), "%.*s%u <- %.*s addr=0x%" PRIx64 " from %u",
+                         static_cast<int>(side_of(e.cat).size()), side_of(e.cat).data(),
+                         e.node, static_cast<int>(net::to_string(e.msg).size()),
+                         net::to_string(e.msg).data(), e.addr, e.peer);
+      if (e.payload != 0)
+        n += std::snprintf(buf + n, room(), " pay=%" PRIu64, e.payload);
+      break;
+    case EventKind::MsgSend:
+      n += std::snprintf(buf + n, room(), "node%u -> %.*s addr=0x%" PRIx64 " to %u",
+                         e.node, static_cast<int>(net::to_string(e.msg).size()),
+                         net::to_string(e.msg).data(), e.addr, e.peer);
+      break;
+    case EventKind::Note:
+      n += std::snprintf(buf + n, room(), "%s", e.text.c_str());
+      break;
+  }
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+void TextSink::begin_run(const std::string& label) {
+  os_ << "# run: " << label << '\n';
+}
+
+void TextSink::on_event(const TraceEvent& e) { os_ << format_event(e) << '\n'; }
+
+void TraceLog::event(const TraceEvent& e) {
+  ++total_;  // masked and ring-evicted events still count
+  if (!on(e.cat)) return;
+  std::string line = format_event(e);
+  if (echo_) std::fprintf(echo_, "%s\n", line.c_str());
+  ring_.push_back(std::move(line));
+  if (ring_.size() > capacity_) ring_.pop_front();
+  for (TraceSink* s : sinks_) s->on_event(e);
+}
+
+void TraceLog::log(TraceCat c, Cycle now, const char* fmt, ...) {
+  if (!on(c)) {
+    ++total_;
+    return;
+  }
+  char buf[256];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+
+  TraceEvent e;
+  e.cycle = now;
+  e.cat = c;
+  e.kind = EventKind::Note;
+  e.text = buf;
+  event(e);
+}
+
+std::string TraceLog::tail(std::size_t n) const {
+  std::string out;
+  const std::size_t start = ring_.size() > n ? ring_.size() - n : 0;
+  for (std::size_t i = start; i < ring_.size(); ++i) {
+    out += ring_[i];
+    out += '\n';
+  }
+  return out;
+}
+
+} // namespace ccsim::obs

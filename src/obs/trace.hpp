@@ -1,0 +1,177 @@
+// Structured event tracing: TraceEvent records dispatched to pluggable sinks.
+//
+// Every controller logs its message receptions and key decisions through a
+// TraceLog when one is attached (MachineConfig::trace). Events are structured
+// records (cycle, node, category, message type, address, small payload), not
+// preformatted strings, so sinks can render them any way they like:
+//
+//   - the built-in bounded ring of formatted lines (always on; cheap enough
+//     to leave enabled for debugging runs, and attached to deadlock reports
+//     by Machine::run so failures are diagnosable post-mortem);
+//   - TextSink     -- the same formatted lines streamed to an ostream;
+//   - JsonlSink    -- one JSON object per line, for scripts (obs/jsonl_sink.hpp);
+//   - PerfettoSink -- Chrome trace_event JSON with per-node tracks and
+//     message-lifetime flow arrows, loadable in chrome://tracing or
+//     https://ui.perfetto.dev (obs/perfetto_sink.hpp).
+//
+// The network logs MsgSend/MsgRecv pairs joined by a flow id (one per
+// injected message); controllers log their receptions and decisions as
+// instant events on their node's track.
+#pragma once
+
+#include "net/message.hpp"
+#include "sim/types.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccsim::obs {
+
+/// Trace categories; enable any subset.
+enum class TraceCat : unsigned {
+  Cache = 1u << 0,  ///< cache-controller message receptions / decisions
+  Home = 1u << 1,   ///< directory/home message receptions
+  Cpu = 1u << 2,    ///< processor-level operations (atomics, flushes)
+  Net = 1u << 3,    ///< network injections and deliveries (flow arrows)
+  All = 0xffffffffu,
+};
+
+[[nodiscard]] std::string_view to_string(TraceCat c) noexcept;
+
+/// What a TraceEvent describes.
+enum class EventKind : std::uint8_t {
+  Note,     ///< free-form text (the printf-style TraceLog::log path)
+  MsgSend,  ///< message injected into the network at `node`, bound for `peer`
+  MsgRecv,  ///< message delivered to / handled by `node`, sent by `peer`
+};
+
+/// One structured trace record. `cycle` is when the event starts; `dur` is
+/// its extent (port occupancy for network events, 0 for instants). `flow`
+/// joins a MsgSend to its MsgRecv (0 = not part of a flow).
+struct TraceEvent {
+  Cycle cycle = 0;
+  Cycle dur = 0;
+  TraceCat cat = TraceCat::Cpu;
+  EventKind kind = EventKind::Note;
+  NodeId node = kInvalidNode;
+  NodeId peer = kInvalidNode;
+  bool has_msg = false;
+  net::MsgType msg{};
+  Addr addr = 0;
+  std::uint64_t payload = 0;
+  std::uint64_t flow = 0;
+  std::string text;
+};
+
+/// Convenience: the structured record for a controller handling `msg`.
+[[nodiscard]] inline TraceEvent recv_event(TraceCat cat, Cycle now, NodeId node,
+                                           const net::Message& msg) {
+  TraceEvent e;
+  e.cycle = now;
+  e.cat = cat;
+  e.kind = EventKind::MsgRecv;
+  e.node = node;
+  e.peer = msg.src;
+  e.has_msg = true;
+  e.msg = msg.type;
+  e.addr = msg.addr;
+  e.payload = msg.payload;
+  return e;
+}
+
+/// One line of human-readable text for an event ("t=42 [cache] cache3 <-
+/// GetS addr=0x10000000 from 1"), the ring / text-sink / echo rendering.
+[[nodiscard]] std::string format_event(const TraceEvent& e);
+
+/// Where structured events go. Sinks are registered on a TraceLog and
+/// receive every unmasked event in simulation order. File-writing sinks
+/// group events into runs: begin_run() starts a new labeled section (a new
+/// Perfetto process, a JSONL run marker, a text header) and finish() flushes
+/// trailers; both are optional for sinks that need neither.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void begin_run(const std::string& label) { (void)label; }
+  virtual void on_event(const TraceEvent& e) = 0;
+  virtual void finish() {}
+};
+
+/// Formatted text lines streamed to an ostream (--trace-format ring).
+class TextSink : public TraceSink {
+public:
+  explicit TextSink(std::ostream& os) : os_(os) {}
+  void begin_run(const std::string& label) override;
+  void on_event(const TraceEvent& e) override;
+
+private:
+  std::ostream& os_;
+};
+
+/// Collects structured events and fans them out: always into the bounded
+/// ring of formatted lines, optionally to an echo stream and to registered
+/// sinks. Category masking filters retention/dispatch but every event --
+/// masked or not, evicted or not -- counts toward total_events().
+class TraceLog {
+public:
+  explicit TraceLog(unsigned mask = static_cast<unsigned>(TraceCat::All),
+                    std::size_t ring_capacity = 512)
+      : mask_(mask), capacity_(ring_capacity) {}
+
+  [[nodiscard]] bool on(TraceCat c) const noexcept {
+    return (mask_ & static_cast<unsigned>(c)) != 0;
+  }
+  void set_mask(unsigned mask) noexcept { mask_ = mask; }
+
+  /// Echo every retained event to `f` as it is logged (nullptr = ring only).
+  void set_echo(std::FILE* f) noexcept { echo_ = f; }
+
+  /// Register an additional sink (not owned; must outlive the log).
+  void add_sink(TraceSink* s) { if (s) sinks_.push_back(s); }
+
+  /// Record one structured event; dispatched unless the category is masked.
+  void event(const TraceEvent& e);
+
+  /// printf-style free-form event (kind = Note); masked categories are
+  /// still counted but neither retained nor dispatched.
+  void log(TraceCat c, Cycle now, const char* fmt, ...)
+#if defined(__GNUC__)
+      __attribute__((format(printf, 4, 5)))
+#endif
+      ;
+
+  /// Fresh id joining one message's MsgSend to its MsgRecv.
+  [[nodiscard]] std::uint64_t next_flow_id() noexcept { return ++flow_seq_; }
+
+  [[nodiscard]] const std::deque<std::string>& recent() const noexcept {
+    return ring_;
+  }
+  /// Every event ever logged, including masked-off and ring-evicted ones.
+  [[nodiscard]] std::size_t total_events() const noexcept { return total_; }
+
+  /// The last `n` retained events joined with newlines (deadlock reports).
+  [[nodiscard]] std::string tail(std::size_t n) const;
+
+  void clear() {
+    ring_.clear();
+    total_ = 0;
+  }
+
+private:
+  unsigned mask_;
+  std::size_t capacity_;
+  std::deque<std::string> ring_;
+  std::size_t total_ = 0;
+  std::uint64_t flow_seq_ = 0;
+  std::FILE* echo_ = nullptr;
+  std::vector<TraceSink*> sinks_;
+};
+
+/// Trace output renderings selectable on bench command lines.
+enum class TraceFormat : std::uint8_t { Ring, Jsonl, Perfetto };
+
+} // namespace ccsim::obs

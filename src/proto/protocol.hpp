@@ -20,6 +20,10 @@
 #include <functional>
 #include <memory>
 
+namespace ccsim::obs {
+class HotBlockTable;
+}
+
 namespace ccsim::proto {
 
 /// Which coherence protocol a machine runs (paper, sections 1 and 3.1).
@@ -61,6 +65,7 @@ struct ProtocolContext {
   unsigned nprocs;
   unsigned cu_threshold = 4;  ///< competitive-update invalidation threshold
   sim::TraceLog* trace = nullptr;  ///< optional structured event trace
+  obs::HotBlockTable* hot = nullptr;  ///< optional per-block attribution
   Consistency consistency = Consistency::Release;
   /// Hybrid machines: protocol for blocks whose domain id is 0.
   Protocol hybrid_default = Protocol::WI;

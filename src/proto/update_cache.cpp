@@ -242,11 +242,8 @@ void UpdateCacheController::on_message(const Message& msg) {
     }
   }
   if (ctx_.trace)
-    ctx_.trace->log(sim::TraceCat::Cache, ctx_.q.now(),
-                    "cache%u <- %s addr=%llx from %u pay=%llu", id_,
-                    std::string(net::to_string(msg.type)).c_str(),
-                    (unsigned long long)msg.addr, msg.src,
-                    (unsigned long long)msg.payload);
+    ctx_.trace->event(
+        obs::recv_event(obs::TraceCat::Cache, ctx_.q.now(), id_, msg));
   switch (msg.type) {
     case MsgType::DataS:
       fill(b, msg.block);

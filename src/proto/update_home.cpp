@@ -1,5 +1,7 @@
 #include "proto/update_controllers.hpp"
 
+#include "obs/hot_blocks.hpp"
+
 #include <cassert>
 
 namespace ccsim::proto {
@@ -12,13 +14,13 @@ using mem::DirState;
 void UpdateHomeController::on_message(const Message& msg) {
   const mem::BlockAddr b = mem::block_of(msg.addr);
   if (ctx_.trace)
-    ctx_.trace->log(sim::TraceCat::Home, ctx_.q.now(), "home%u <- %s addr=%llx from %u",
-                    id_, std::string(net::to_string(msg.type)).c_str(),
-                    (unsigned long long)msg.addr, msg.src);
+    ctx_.trace->event(
+        obs::recv_event(obs::TraceCat::Home, ctx_.q.now(), id_, msg));
   switch (msg.type) {
     case MsgType::GetS:
     case MsgType::UpdateReq:
     case MsgType::AtomicReq:
+      if (ctx_.hot) ctx_.hot->on_home_txn(b);
       if (pending_.contains(b)) {
         pending_[b].queued.push_back(msg);
         return;

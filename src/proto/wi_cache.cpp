@@ -259,11 +259,8 @@ void WiCacheController::complete_txn(mem::BlockAddr b) {
 void WiCacheController::on_message(const Message& msg) {
   const mem::BlockAddr b = mem::block_of(msg.addr);
   if (ctx_.trace)
-    ctx_.trace->log(sim::TraceCat::Cache, ctx_.q.now(),
-                    "cache%u <- %s addr=%llx from %u pay=%llu", id_,
-                    std::string(net::to_string(msg.type)).c_str(),
-                    (unsigned long long)msg.addr, msg.src,
-                    (unsigned long long)msg.payload);
+    ctx_.trace->event(
+        obs::recv_event(obs::TraceCat::Cache, ctx_.q.now(), id_, msg));
 
   // A fill may not evict a line with its own transaction outstanding (the
   // Upgrade's grant would arrive for a line we no longer hold) -- the MSHR

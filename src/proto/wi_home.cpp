@@ -1,5 +1,7 @@
 #include "proto/wi_controllers.hpp"
 
+#include "obs/hot_blocks.hpp"
+
 #include <cassert>
 
 namespace ccsim::proto {
@@ -180,13 +182,13 @@ void WiHomeController::dispatch(mem::BlockAddr b) {
 void WiHomeController::on_message(const Message& msg) {
   const mem::BlockAddr b = mem::block_of(msg.addr);
   if (ctx_.trace)
-    ctx_.trace->log(sim::TraceCat::Home, ctx_.q.now(), "home%u <- %s addr=%llx from %u",
-                    id_, std::string(net::to_string(msg.type)).c_str(),
-                    (unsigned long long)msg.addr, msg.src);
+    ctx_.trace->event(
+        obs::recv_event(obs::TraceCat::Home, ctx_.q.now(), id_, msg));
   switch (msg.type) {
     case MsgType::GetS:
     case MsgType::GetX:
     case MsgType::Upgrade:
+      if (ctx_.hot) ctx_.hot->on_home_txn(b);
       if (active_.contains(b))
         queued_[b].push_back(msg);
       else

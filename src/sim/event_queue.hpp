@@ -43,6 +43,9 @@ public:
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Cycle next_time() const noexcept { return heap_.top().t; }
+
   /// Total number of events executed so far (for kernel micro-benchmarks).
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 

@@ -1,70 +1,13 @@
-// Structured event tracing.
-//
-// Every controller logs its message receptions and key decisions through a
-// TraceLog when one is attached (MachineConfig::trace). The log keeps a
-// bounded ring of recent formatted events -- cheap enough to leave on for
-// debugging runs -- and can optionally echo to a stream live. When a
-// simulation deadlocks, Machine::run attaches the tail of the ring to the
-// exception so the failure is diagnosable post-mortem.
+// Compatibility header: structured tracing moved to the observability
+// subsystem (src/obs). The TraceLog / TraceCat names stay visible under
+// ccsim::sim for existing call sites and user code.
 #pragma once
 
-#include "sim/types.hpp"
-
-#include <cstdarg>
-#include <cstdio>
-#include <deque>
-#include <string>
+#include "obs/trace.hpp"
 
 namespace ccsim::sim {
 
-/// Trace categories; enable any subset.
-enum class TraceCat : unsigned {
-  Cache = 1u << 0,  ///< cache-controller message receptions / decisions
-  Home = 1u << 1,   ///< directory/home message receptions
-  Cpu = 1u << 2,    ///< processor-level operations (atomics, flushes)
-  All = 0xffffffffu,
-};
-
-class TraceLog {
-public:
-  explicit TraceLog(unsigned mask = static_cast<unsigned>(TraceCat::All),
-                    std::size_t ring_capacity = 512)
-      : mask_(mask), capacity_(ring_capacity) {}
-
-  [[nodiscard]] bool on(TraceCat c) const noexcept {
-    return (mask_ & static_cast<unsigned>(c)) != 0;
-  }
-  void set_mask(unsigned mask) noexcept { mask_ = mask; }
-
-  /// Echo every event to `f` as it is logged (nullptr = ring only).
-  void set_echo(std::FILE* f) noexcept { echo_ = f; }
-
-  /// printf-style event record; no-op if the category is masked off.
-  void log(TraceCat c, Cycle now, const char* fmt, ...)
-#if defined(__GNUC__)
-      __attribute__((format(printf, 4, 5)))
-#endif
-      ;
-
-  [[nodiscard]] const std::deque<std::string>& recent() const noexcept {
-    return ring_;
-  }
-  [[nodiscard]] std::size_t total_events() const noexcept { return total_; }
-
-  /// The last `n` events joined with newlines (for deadlock reports).
-  [[nodiscard]] std::string tail(std::size_t n) const;
-
-  void clear() {
-    ring_.clear();
-    total_ = 0;
-  }
-
-private:
-  unsigned mask_;
-  std::size_t capacity_;
-  std::deque<std::string> ring_;
-  std::size_t total_ = 0;
-  std::FILE* echo_ = nullptr;
-};
+using obs::TraceCat;
+using obs::TraceLog;
 
 } // namespace ccsim::sim

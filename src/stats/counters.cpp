@@ -41,4 +41,51 @@ std::uint64_t UpdateCounts::total() const noexcept {
   return std::accumulate(by.begin(), by.end(), std::uint64_t{0});
 }
 
+Counters delta(const Counters& now, const Counters& prev) noexcept {
+  Counters d;
+  for (std::size_t i = 0; i < kMissClasses; ++i)
+    d.misses.by[i] = now.misses.by[i] - prev.misses.by[i];
+  d.misses.exclusive_requests =
+      now.misses.exclusive_requests - prev.misses.exclusive_requests;
+  for (std::size_t i = 0; i < kUpdateClasses; ++i)
+    d.updates.by[i] = now.updates.by[i] - prev.updates.by[i];
+  d.net.messages = now.net.messages - prev.net.messages;
+  d.net.flits = now.net.flits - prev.net.flits;
+  d.net.hops = now.net.hops - prev.net.hops;
+  d.net.local = now.net.local - prev.net.local;
+  for (std::size_t i = 0; i < kMsgTypeCount; ++i)
+    d.net.by_type[i] = now.net.by_type[i] - prev.net.by_type[i];
+  d.mem.shared_reads = now.mem.shared_reads - prev.mem.shared_reads;
+  d.mem.shared_writes = now.mem.shared_writes - prev.mem.shared_writes;
+  d.mem.read_hits = now.mem.read_hits - prev.mem.read_hits;
+  d.mem.write_hits = now.mem.write_hits - prev.mem.write_hits;
+  d.mem.atomics = now.mem.atomics - prev.mem.atomics;
+  d.mem.write_buffer_stalls =
+      now.mem.write_buffer_stalls - prev.mem.write_buffer_stalls;
+  d.mem.fence_stall_cycles =
+      now.mem.fence_stall_cycles - prev.mem.fence_stall_cycles;
+  return d;
+}
+
+void accumulate(Counters& into, const Counters& add) noexcept {
+  for (std::size_t i = 0; i < kMissClasses; ++i)
+    into.misses.by[i] += add.misses.by[i];
+  into.misses.exclusive_requests += add.misses.exclusive_requests;
+  for (std::size_t i = 0; i < kUpdateClasses; ++i)
+    into.updates.by[i] += add.updates.by[i];
+  into.net.messages += add.net.messages;
+  into.net.flits += add.net.flits;
+  into.net.hops += add.net.hops;
+  into.net.local += add.net.local;
+  for (std::size_t i = 0; i < kMsgTypeCount; ++i)
+    into.net.by_type[i] += add.net.by_type[i];
+  into.mem.shared_reads += add.mem.shared_reads;
+  into.mem.shared_writes += add.mem.shared_writes;
+  into.mem.read_hits += add.mem.read_hits;
+  into.mem.write_hits += add.mem.write_hits;
+  into.mem.atomics += add.mem.atomics;
+  into.mem.write_buffer_stalls += add.mem.write_buffer_stalls;
+  into.mem.fence_stall_cycles += add.mem.fence_stall_cycles;
+}
+
 } // namespace ccsim::stats

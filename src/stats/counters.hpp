@@ -101,4 +101,12 @@ struct Counters {
   MemCounters mem;
 };
 
+/// Field-wise `now - prev`. All counters are monotone over a run, so this
+/// is the traffic of the window between two snapshots (interval sampling).
+[[nodiscard]] Counters delta(const Counters& now, const Counters& prev) noexcept;
+
+/// Field-wise accumulation (the inverse of delta; used to check that
+/// per-interval samples sum back to the run totals).
+void accumulate(Counters& into, const Counters& add) noexcept;
+
 } // namespace ccsim::stats

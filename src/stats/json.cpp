@@ -1,0 +1,173 @@
+#include "stats/json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace ccsim::stats {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes "key":
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  os_ << '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  first_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  os_ << '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  first_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  os_ << '"' << json_escape(k) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma();
+  os_ << json;
+  return *this;
+}
+
+void to_json(std::ostream& os, const Counters& c) {
+  JsonWriter w(os);
+  w.begin_object();
+
+  w.key("misses").begin_object();
+  w.key("by").begin_object();
+  for (std::size_t i = 0; i < kMissClasses; ++i) {
+    const auto cls = static_cast<MissClass>(i);
+    w.key(to_string(cls)).value(c.misses[cls]);
+  }
+  w.end_object();
+  w.key("exclusive_requests").value(c.misses.exclusive_requests);
+  w.key("total").value(c.misses.total());
+  w.key("useful").value(c.misses.useful());
+  w.end_object();
+
+  w.key("updates").begin_object();
+  w.key("by").begin_object();
+  for (std::size_t i = 0; i < kUpdateClasses; ++i) {
+    const auto cls = static_cast<UpdateClass>(i);
+    w.key(to_string(cls)).value(c.updates[cls]);
+  }
+  w.end_object();
+  w.key("total").value(c.updates.total());
+  w.key("useful").value(c.updates.useful());
+  w.end_object();
+
+  w.key("net").begin_object();
+  w.key("messages").value(c.net.messages);
+  w.key("flits").value(c.net.flits);
+  w.key("hops").value(c.net.hops);
+  w.key("local").value(c.net.local);
+  w.key("by_type").begin_object();
+  for (std::size_t i = 0; i < kMsgTypeCount; ++i) {
+    if (c.net.by_type[i] == 0) continue;
+    w.key(net::to_string(static_cast<net::MsgType>(i))).value(c.net.by_type[i]);
+  }
+  w.end_object();
+  w.end_object();
+
+  w.key("mem").begin_object();
+  w.key("shared_reads").value(c.mem.shared_reads);
+  w.key("shared_writes").value(c.mem.shared_writes);
+  w.key("read_hits").value(c.mem.read_hits);
+  w.key("write_hits").value(c.mem.write_hits);
+  w.key("atomics").value(c.mem.atomics);
+  w.key("write_buffer_stalls").value(c.mem.write_buffer_stalls);
+  w.key("fence_stall_cycles").value(c.mem.fence_stall_cycles);
+  w.end_object();
+
+  w.end_object();
+}
+
+std::string to_json(const Counters& c) {
+  std::ostringstream os;
+  to_json(os, c);
+  return os.str();
+}
+
+} // namespace ccsim::stats

@@ -1,0 +1,60 @@
+// Minimal streaming JSON writer and the counters -> JSON exporter.
+//
+// The writer tracks nesting and comma placement so callers only name keys
+// and values; keys are emitted in call order, which makes every document
+// this library produces byte-stable across runs (golden-file testable).
+#pragma once
+
+#include "stats/counters.hpp"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccsim::stats {
+
+/// `s` with JSON string escaping applied (quotes, backslashes, control
+/// characters); no surrounding quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; follow with exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// Emit preserialized JSON verbatim in value position.
+  JsonWriter& raw(std::string_view json);
+
+private:
+  void comma();
+
+  std::ostream& os_;
+  std::vector<bool> first_{};  ///< per open container: nothing emitted yet
+  bool pending_key_ = false;
+};
+
+/// Serialize one run's counters: misses by class, updates by class, network
+/// volume and per-message-type profile, memory-system activity. Key order
+/// is fixed (declaration order of the enums and structs).
+void to_json(std::ostream& os, const Counters& c);
+[[nodiscard]] std::string to_json(const Counters& c);
+
+} // namespace ccsim::stats

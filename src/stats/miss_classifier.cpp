@@ -1,5 +1,7 @@
 #include "stats/miss_classifier.hpp"
 
+#include "obs/hot_blocks.hpp"
+
 #include <cassert>
 
 namespace ccsim::stats {
@@ -23,6 +25,7 @@ void MissClassifier::on_invalidated(NodeId proc, mem::BlockAddr b, Addr trigger)
   pp.loss = Loss::Inval;
   pp.snapshot = bi.version;
   pp.trigger_mask = static_cast<std::uint8_t>(1u << mem::word_of(trigger));
+  if (hot_) hot_->on_inval(b);
 }
 
 void MissClassifier::on_evicted(NodeId proc, mem::BlockAddr b) {
@@ -74,6 +77,7 @@ MissClass MissClassifier::classify_miss(NodeId proc, Addr addr) {
     }
   }
   ++counters_.misses[c];
+  if (hot_) hot_->on_miss(mem::block_of(addr), c);
   return c;
 }
 

@@ -26,12 +26,20 @@
 #include <unordered_map>
 #include <vector>
 
+namespace ccsim::obs {
+class HotBlockTable;
+}
+
 namespace ccsim::stats {
 
 class MissClassifier {
 public:
   MissClassifier(unsigned nprocs, Counters& counters)
       : nprocs_(nprocs), counters_(counters) {}
+
+  /// Attach a hot-block table: every classified miss and every invalidation
+  /// is additionally attributed to its block (nullptr = off).
+  void set_hot(obs::HotBlockTable* hot) noexcept { hot_ = hot; }
 
   /// A store to `addr` became globally visible, performed by `proc`.
   /// (WI: at the writer's cache once exclusive; PU/CU: at the home.)
@@ -74,6 +82,7 @@ private:
 
   unsigned nprocs_;
   Counters& counters_;
+  obs::HotBlockTable* hot_ = nullptr;
   std::unordered_map<mem::BlockAddr, BlockInfo> blocks_;
 };
 

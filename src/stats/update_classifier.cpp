@@ -1,5 +1,7 @@
 #include "stats/update_classifier.hpp"
 
+#include "obs/hot_blocks.hpp"
+
 namespace ccsim::stats {
 
 UpdateClassifier::PerProc& UpdateClassifier::state(NodeId proc, mem::BlockAddr b) {
@@ -8,7 +10,13 @@ UpdateClassifier::PerProc& UpdateClassifier::state(NodeId proc, mem::BlockAddr b
   return bi.procs[proc];
 }
 
-void UpdateClassifier::finalize_word(PerProc& pp, unsigned w, UpdateClass cls) {
+void UpdateClassifier::count(mem::BlockAddr b, UpdateClass cls) {
+  ++counters_.updates[cls];
+  if (hot_) hot_->on_update(b, cls);
+}
+
+void UpdateClassifier::finalize_word(PerProc& pp, mem::BlockAddr b, unsigned w,
+                                     UpdateClass cls) {
   const std::uint8_t bit = static_cast<std::uint8_t>(1u << w);
   if (!(pp.pending & bit)) return;
   // "Classify useless updates as proliferation unless active false sharing
@@ -17,34 +25,37 @@ void UpdateClassifier::finalize_word(PerProc& pp, unsigned w, UpdateClass cls) {
   if ((pp.refother & bit) &&
       (cls == UpdateClass::Proliferation || cls == UpdateClass::Termination))
     cls = UpdateClass::FalseSharing;
-  ++counters_.updates[cls];
+  count(b, cls);
   pp.pending = static_cast<std::uint8_t>(pp.pending & ~bit);
   pp.refother = static_cast<std::uint8_t>(pp.refother & ~bit);
 }
 
 void UpdateClassifier::on_update_applied(NodeId proc, Addr addr) {
-  PerProc& pp = state(proc, mem::block_of(addr));
+  const mem::BlockAddr b = mem::block_of(addr);
+  PerProc& pp = state(proc, b);
   const unsigned w = mem::word_of(addr);
   // Overwriting a still-pending update ends its lifetime uselessly.
-  finalize_word(pp, w, UpdateClass::Proliferation);
+  finalize_word(pp, b, w, UpdateClass::Proliferation);
   pp.pending = static_cast<std::uint8_t>(pp.pending | (1u << w));
   pp.refother = static_cast<std::uint8_t>(pp.refother & ~(1u << w));
 }
 
 void UpdateClassifier::on_drop_update(NodeId proc, Addr addr) {
-  PerProc& pp = state(proc, mem::block_of(addr));
+  const mem::BlockAddr b = mem::block_of(addr);
+  PerProc& pp = state(proc, b);
   const unsigned w = mem::word_of(addr);
   // The arriving update itself is the drop update...
-  ++counters_.updates[UpdateClass::Drop];
+  count(b, UpdateClass::Drop);
   // ...and the block's other pending updates die unconsumed.
-  finalize_word(pp, w, UpdateClass::Proliferation);  // pending older update on w
+  finalize_word(pp, b, w, UpdateClass::Proliferation);  // pending older update on w
   for (unsigned i = 0; i < mem::kWordsPerBlock; ++i)
-    finalize_word(pp, i, UpdateClass::Proliferation);
+    finalize_word(pp, b, i, UpdateClass::Proliferation);
 }
 
 void UpdateClassifier::on_reference(NodeId proc, Addr addr) {
   if (!mem::is_shared(addr)) return;
-  auto it = blocks_.find(mem::block_of(addr));
+  const mem::BlockAddr b = mem::block_of(addr);
+  auto it = blocks_.find(b);
   if (it == blocks_.end() || it->second.procs.empty()) return;
   PerProc& pp = it->second.procs[proc];
   if (pp.pending == 0) return;
@@ -52,7 +63,7 @@ void UpdateClassifier::on_reference(NodeId proc, Addr addr) {
   const std::uint8_t bit = static_cast<std::uint8_t>(1u << w);
   if (pp.pending & bit) {
     // Referenced the updated word: useful, finalize eagerly.
-    ++counters_.updates[UpdateClass::TrueSharing];
+    count(b, UpdateClass::TrueSharing);
     pp.pending = static_cast<std::uint8_t>(pp.pending & ~bit);
     pp.refother = static_cast<std::uint8_t>(pp.refother & ~bit);
   }
@@ -65,14 +76,14 @@ void UpdateClassifier::on_block_replaced(NodeId proc, mem::BlockAddr b) {
   if (it == blocks_.end() || it->second.procs.empty()) return;
   PerProc& pp = it->second.procs[proc];
   for (unsigned w = 0; w < mem::kWordsPerBlock; ++w)
-    finalize_word(pp, w, UpdateClass::Replacement);
+    finalize_word(pp, b, w, UpdateClass::Replacement);
 }
 
 void UpdateClassifier::finalize(Cycle) {
   for (auto& [b, bi] : blocks_) {
     for (auto& pp : bi.procs) {
       for (unsigned w = 0; w < mem::kWordsPerBlock; ++w)
-        finalize_word(pp, w, UpdateClass::Termination);
+        finalize_word(pp, b, w, UpdateClass::Termination);
     }
   }
 }

@@ -27,12 +27,20 @@
 #include <unordered_map>
 #include <vector>
 
+namespace ccsim::obs {
+class HotBlockTable;
+}
+
 namespace ccsim::stats {
 
 class UpdateClassifier {
 public:
   UpdateClassifier(unsigned nprocs, Counters& counters)
       : nprocs_(nprocs), counters_(counters) {}
+
+  /// Attach a hot-block table: every classified update lifetime is
+  /// additionally attributed to its block (nullptr = off).
+  void set_hot(obs::HotBlockTable* hot) noexcept { hot_ = hot; }
 
   /// An update to `addr` was applied to `proc`'s cached copy.
   void on_update_applied(NodeId proc, Addr addr);
@@ -62,10 +70,13 @@ private:
   };
 
   PerProc& state(NodeId proc, mem::BlockAddr b);
-  void finalize_word(PerProc& pp, unsigned w, UpdateClass overwrite_class);
+  void finalize_word(PerProc& pp, mem::BlockAddr b, unsigned w,
+                     UpdateClass overwrite_class);
+  void count(mem::BlockAddr b, UpdateClass cls);
 
   unsigned nprocs_;
   Counters& counters_;
+  obs::HotBlockTable* hot_ = nullptr;
   std::unordered_map<mem::BlockAddr, BlockInfo> blocks_;
 };
 

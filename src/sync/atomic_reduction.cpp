@@ -4,7 +4,8 @@ namespace ccsim::sync {
 
 AtomicSumReduction::AtomicSumReduction(harness::Machine& m, Barrier& barrier,
                                        NodeId home)
-    : sum_(m.alloc().allocate_on(home, mem::kWordSize)), barrier_(barrier) {}
+    : sum_(m.alloc().allocate_on(home, mem::kWordSize, "atomic_reduction.sum")),
+      barrier_(barrier) {}
 
 sim::Task AtomicSumReduction::reduce(cpu::Cpu& c, std::uint64_t value,
                                      std::uint64_t* result) {
@@ -16,7 +17,8 @@ sim::Task AtomicSumReduction::reduce(cpu::Cpu& c, std::uint64_t value,
 }
 
 CasMaxReduction::CasMaxReduction(harness::Machine& m, Barrier& barrier, NodeId home)
-    : max_(m.alloc().allocate_on(home, mem::kWordSize)), barrier_(barrier) {}
+    : max_(m.alloc().allocate_on(home, mem::kWordSize, "atomic_reduction.max")),
+      barrier_(barrier) {}
 
 sim::Task CasMaxReduction::reduce(cpu::Cpu& c, std::uint64_t value,
                                   std::uint64_t* result) {

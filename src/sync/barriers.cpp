@@ -1,6 +1,7 @@
 #include "sync/barriers.hpp"
 
 #include <bit>
+#include <string>
 
 namespace ccsim::sync {
 
@@ -9,7 +10,7 @@ namespace ccsim::sync {
 // ---------------------------------------------------------------------
 
 CentralBarrier::CentralBarrier(harness::Machine& m, NodeId home)
-    : base_(m.alloc().allocate_on(home, 2 * mem::kWordSize)),
+    : base_(m.alloc().allocate_on(home, 2 * mem::kWordSize, "central_barrier")),
       parties_(m.nprocs()),
       local_sense_(m.nprocs(), 1) {
   m.poke(count_addr(), parties_);
@@ -48,7 +49,8 @@ DisseminationBarrier::DisseminationBarrier(harness::Machine& m)
       state_(parties_) {
   flags_.reserve(parties_);
   for (NodeId i = 0; i < parties_; ++i)
-    flags_.push_back(m.alloc().allocate_on(i, 2 * rounds_ * mem::kBlockSize));
+    flags_.push_back(m.alloc().allocate_on(
+        i, 2 * rounds_ * mem::kBlockSize, "dissem.flags" + std::to_string(i)));
   // allnodes[i].myflags[r][k] starts false for all i, r, k: memory is
   // zero-initialized, nothing to poke.
 }
@@ -82,9 +84,10 @@ TreeBarrier::TreeBarrier(harness::Machine& m)
   for (NodeId i = 0; i < parties_; ++i) {
     // treenode: childnotready[0..3] packed as bytes of word 0 (figure 5);
     // word 1 is the record's pseudo-data.
-    nodes_.push_back(m.alloc().allocate_on(i, 2 * mem::kWordSize));
+    nodes_.push_back(m.alloc().allocate_on(i, 2 * mem::kWordSize,
+                                           "tree.node" + std::to_string(i)));
   }
-  globalsense_ = m.alloc().allocate_on(0, mem::kWordSize);
+  globalsense_ = m.alloc().allocate_on(0, mem::kWordSize, "tree.globalsense");
   for (NodeId i = 0; i < parties_; ++i) {
     std::uint32_t word = 0;
     for (unsigned j = 0; j < kArity; ++j) {
@@ -134,8 +137,10 @@ CombiningTreeBarrier::CombiningTreeBarrier(harness::Machine& m)
   arrival_.reserve(parties_);
   wakeup_.reserve(parties_);
   for (NodeId i = 0; i < parties_; ++i) {
-    arrival_.push_back(m.alloc().allocate_on(i, mem::kWordSize));
-    wakeup_.push_back(m.alloc().allocate_on(i, mem::kWordSize));
+    arrival_.push_back(m.alloc().allocate_on(
+        i, mem::kWordSize, "ctree.arrival" + std::to_string(i)));
+    wakeup_.push_back(m.alloc().allocate_on(
+        i, mem::kWordSize, "ctree.wakeup" + std::to_string(i)));
     std::uint32_t word = 0;
     for (unsigned j = 0; j < kArrivalArity; ++j) {
       if (kArrivalArity * i + j + 1 < parties_) word |= 1u << (8 * j);

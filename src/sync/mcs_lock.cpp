@@ -1,20 +1,24 @@
 #include "sync/mcs_lock.hpp"
 
+#include <string>
+
 namespace ccsim::sync {
 
 McsLock::McsLock(harness::Machine& m, bool update_conscious, NodeId home, bool padded)
-    : tail_(m.alloc().allocate_on(home, mem::kWordSize)),
+    : tail_(m.alloc().allocate_on(home, mem::kWordSize, "mcs.tail")),
       update_conscious_(update_conscious) {
   qnodes_.reserve(m.nprocs());
   if (padded) {
     // Layout ablation: one block per qnode, homed at its owner.
     for (NodeId i = 0; i < m.nprocs(); ++i)
-      qnodes_.push_back(m.alloc().allocate_on(i, 2 * mem::kWordSize));
+      qnodes_.push_back(m.alloc().allocate_on(
+          i, 2 * mem::kWordSize, "mcs.qnode" + std::to_string(i)));
   } else {
     // The paper's layout: a packed shared array, four qnodes per block,
     // interleaved across the machine's memories.
     const Addr base =
-        m.alloc().allocate(m.nprocs() * 2 * mem::kWordSize, mem::kBlockSize);
+        m.alloc().allocate(m.nprocs() * 2 * mem::kWordSize, mem::kBlockSize,
+                           "mcs.qnodes");
     for (NodeId i = 0; i < m.nprocs(); ++i)
       qnodes_.push_back(base + i * 2 * mem::kWordSize);
   }

@@ -1,10 +1,14 @@
 #include "sync/reductions.hpp"
 
+#include <string>
+
 namespace ccsim::sync {
 
 ParallelReduction::ParallelReduction(harness::Machine& m, Lock& lock, Barrier& barrier,
                                      NodeId home)
-    : max_(m.alloc().allocate_on(home, mem::kWordSize)), lock_(lock), barrier_(barrier) {}
+    : max_(m.alloc().allocate_on(home, mem::kWordSize, "reduction.max")),
+      lock_(lock),
+      barrier_(barrier) {}
 
 sim::Task ParallelReduction::reduce(cpu::Cpu& c, std::uint64_t value,
                                     std::uint64_t* result) {
@@ -22,12 +26,13 @@ sim::Task ParallelReduction::reduce(cpu::Cpu& c, std::uint64_t value,
 
 SequentialReduction::SequentialReduction(harness::Machine& m, Barrier& barrier,
                                          NodeId home)
-    : max_(m.alloc().allocate_on(home, mem::kWordSize)),
+    : max_(m.alloc().allocate_on(home, mem::kWordSize, "reduction.max")),
       parties_(m.nprocs()),
       barrier_(barrier) {
   locals_.reserve(parties_);
   for (NodeId i = 0; i < parties_; ++i)
-    locals_.push_back(m.alloc().allocate_on(i, mem::kWordSize));
+    locals_.push_back(m.alloc().allocate_on(
+        i, mem::kWordSize, "reduction.local" + std::to_string(i)));
 }
 
 sim::Task SequentialReduction::reduce(cpu::Cpu& c, std::uint64_t value,

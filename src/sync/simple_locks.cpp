@@ -5,7 +5,7 @@
 namespace ccsim::sync {
 
 TasLock::TasLock(harness::Machine& m, NodeId home, BackoffParams b)
-    : lock_(m.alloc().allocate_on(home, mem::kWordSize)), backoff_(b) {}
+    : lock_(m.alloc().allocate_on(home, mem::kWordSize, "tas.lock")), backoff_(b) {}
 
 sim::Task TasLock::acquire(cpu::Cpu& c) {
   Cycle delay = backoff_.initial;
@@ -23,7 +23,7 @@ sim::Task TasLock::release(cpu::Cpu& c) {
 }
 
 TtasLock::TtasLock(harness::Machine& m, NodeId home, BackoffParams b)
-    : lock_(m.alloc().allocate_on(home, mem::kWordSize)), backoff_(b) {}
+    : lock_(m.alloc().allocate_on(home, mem::kWordSize, "ttas.lock")), backoff_(b) {}
 
 sim::Task TtasLock::acquire(cpu::Cpu& c) {
   Cycle delay = backoff_.initial;

@@ -4,10 +4,10 @@ namespace ccsim::sync {
 
 TicketLock::TicketLock(harness::Machine& m, NodeId home, bool split) {
   if (split) {
-    next_ = m.alloc().allocate_on(home, mem::kWordSize);
-    serving_ = m.alloc().allocate_on(home, mem::kWordSize);
+    next_ = m.alloc().allocate_on(home, mem::kWordSize, "ticket.next");
+    serving_ = m.alloc().allocate_on(home, mem::kWordSize, "ticket.serving");
   } else {
-    next_ = m.alloc().allocate_on(home, 2 * mem::kWordSize);
+    next_ = m.alloc().allocate_on(home, 2 * mem::kWordSize, "ticket");
     serving_ = next_ + mem::kWordSize;
   }
 }

@@ -1,0 +1,115 @@
+// JSON metrics export: writer primitives, the golden counters document
+// (stable insertion-order keys -- scripts depend on the schema), and the
+// delta/accumulate pair the interval sampler is built on.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace ccsim;
+
+TEST(JsonWriter, NestingAndCommas) {
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  w.begin_object();
+  w.key("a").value(std::uint64_t{1});
+  w.key("b").begin_array();
+  w.value(std::uint64_t{2}).value(std::uint64_t{3});
+  w.begin_object().key("c").value(true).end_object();
+  w.end_array();
+  w.key("d").value("x");
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":[2,3,{"c":true}],"d":"x"})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  w.begin_object();
+  w.key("s").value("a\"b\\c\nd");
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, RawSplicesVerbatim) {
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  w.begin_object();
+  w.key("inner").raw("{\"x\":1}");
+  w.key("after").value(std::uint64_t{2});
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"inner":{"x":1},"after":2})");
+}
+
+TEST(CountersJson, GoldenDocument) {
+  stats::Counters c;
+  c.misses[stats::MissClass::Cold] = 3;
+  c.misses[stats::MissClass::TrueSharing] = 2;
+  c.misses[stats::MissClass::FalseSharing] = 1;
+  c.misses.exclusive_requests = 4;
+  c.updates[stats::UpdateClass::TrueSharing] = 5;
+  c.updates[stats::UpdateClass::Termination] = 1;
+  c.net.messages = 7;
+  c.net.flits = 21;
+  c.net.hops = 14;
+  c.net.local = 2;
+  c.mem.shared_reads = 8;
+  c.mem.shared_writes = 9;
+  c.mem.read_hits = 6;
+  c.mem.write_hits = 5;
+  c.mem.atomics = 2;
+  c.mem.write_buffer_stalls = 1;
+  c.mem.fence_stall_cycles = 30;
+
+  const std::string expected =
+      R"({"misses":{"by":{"cold":3,"true":2,"false":1,"evict":0,"drop":0},)"
+      R"("exclusive_requests":4,"total":6,"useful":5},)"
+      R"("updates":{"by":{"useful":5,"false":0,"prolif":0,"repl":0,"end":1,"drop":0},)"
+      R"("total":6,"useful":5},)"
+      R"("net":{"messages":7,"flits":21,"hops":14,"local":2,"by_type":{}},)"
+      R"("mem":{"shared_reads":8,"shared_writes":9,"read_hits":6,"write_hits":5,)"
+      R"("atomics":2,"write_buffer_stalls":1,"fence_stall_cycles":30}})";
+  EXPECT_EQ(stats::to_json(c), expected);
+}
+
+TEST(CountersJson, ByTypeListsOnlyNonzero) {
+  stats::Counters c;
+  c.net.by_type[static_cast<std::size_t>(net::MsgType::GetS)] = 2;
+  const std::string j = stats::to_json(c);
+  EXPECT_NE(j.find("\"by_type\":{\"" +
+                   std::string(net::to_string(net::MsgType::GetS)) + "\":2}"),
+            std::string::npos)
+      << j;
+}
+
+TEST(CountersJson, RealRunProducesParseableTotals) {
+  harness::MachineConfig cfg;
+  cfg.nprocs = 4;
+  const auto r = harness::run_lock_experiment(cfg, harness::LockKind::Ticket,
+                                              {.total_acquires = 400});
+  const std::string j = stats::to_json(r.counters);
+  // Spot-check that the totals embedded in the document match the counters.
+  EXPECT_NE(j.find("\"messages\":" + std::to_string(r.counters.net.messages)),
+            std::string::npos);
+  EXPECT_NE(j.find("\"total\":" + std::to_string(r.counters.misses.total())),
+            std::string::npos);
+}
+
+TEST(CountersDelta, DeltaAndAccumulateAreInverse) {
+  harness::MachineConfig cfg;
+  cfg.nprocs = 4;
+  cfg.protocol = proto::Protocol::PU;
+  const auto a = harness::run_lock_experiment(cfg, harness::LockKind::Mcs,
+                                              {.total_acquires = 200});
+  const auto b = harness::run_lock_experiment(cfg, harness::LockKind::Mcs,
+                                              {.total_acquires = 400});
+  const stats::Counters d = stats::delta(b.counters, a.counters);
+  stats::Counters sum = a.counters;
+  stats::accumulate(sum, d);
+  EXPECT_EQ(stats::to_json(sum), stats::to_json(b.counters));
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+// Observability layer: interval sampling invariants, hot-block attribution,
+// and the Perfetto / JSONL trace sinks wired through a real machine.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace ccsim;
+
+// --- tiny JSON helpers (structure checks, no external parser) -------------
+
+/// Braces/brackets balanced outside string literals, strings closed.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_str = false, esc = false;
+  for (char ch : s) {
+    if (in_str) {
+      if (esc)
+        esc = false;
+      else if (ch == '\\')
+        esc = true;
+      else if (ch == '"')
+        in_str = false;
+      continue;
+    }
+    if (ch == '"') in_str = true;
+    else if (ch == '{' || ch == '[') ++depth;
+    else if (ch == '}' || ch == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_str;
+}
+
+/// Value of `"key":<int>` inside a one-line JSON record (-1 = absent).
+std::int64_t field_u64(const std::string& rec, const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  const auto pos = rec.find(pat);
+  if (pos == std::string::npos) return -1;
+  return std::stoll(rec.substr(pos + pat.size()));
+}
+
+/// Value of `"key":"<string>"` inside a one-line JSON record ("" = absent).
+std::string field_str(const std::string& rec, const std::string& key) {
+  const std::string pat = "\"" + key + "\":\"";
+  const auto pos = rec.find(pat);
+  if (pos == std::string::npos) return "";
+  const auto end = rec.find('"', pos + pat.size());
+  return rec.substr(pos + pat.size(), end - pos - pat.size());
+}
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  for (std::string l; std::getline(is, l);) out.push_back(l);
+  return out;
+}
+
+harness::RunResult sampled_lock_run(harness::MachineConfig cfg) {
+  return harness::run_lock_experiment(cfg, harness::LockKind::Ticket,
+                                      {.total_acquires = 800});
+}
+
+// --- interval sampler ------------------------------------------------------
+
+TEST(IntervalSampler, OffByDefault) {
+  harness::MachineConfig cfg;
+  cfg.nprocs = 4;
+  const auto r = sampled_lock_run(cfg);
+  EXPECT_TRUE(r.samples.empty());
+  EXPECT_TRUE(r.hot.empty());
+}
+
+TEST(IntervalSampler, DeltasSumToFinalCounters) {
+  harness::MachineConfig cfg;
+  cfg.nprocs = 4;
+  cfg.protocol = proto::Protocol::PU;  // updates exercise finalize()
+  cfg.obs.sample_interval = 500;
+  const auto r = sampled_lock_run(cfg);
+
+  ASSERT_FALSE(r.samples.empty());
+  EXPECT_EQ(r.samples.interval, 500u);
+
+  stats::Counters sum;
+  Cycle prev_end = 0;
+  for (const obs::Sample& s : r.samples.samples) {
+    EXPECT_EQ(s.begin, prev_end) << "intervals must tile the run";
+    EXPECT_GT(s.end, s.begin);
+    prev_end = s.end;
+    stats::accumulate(sum, s.delta);
+  }
+  // The invariant the sampler promises: the series accounts for every
+  // counted event, including end-of-run update finalization.
+  EXPECT_EQ(stats::to_json(sum), stats::to_json(r.counters));
+}
+
+TEST(IntervalSampler, SamplingDoesNotPerturbTheRun) {
+  harness::MachineConfig cfg;
+  cfg.nprocs = 4;
+  const auto plain = sampled_lock_run(cfg);
+  cfg.obs.sample_interval = 250;
+  const auto sampled = sampled_lock_run(cfg);
+  EXPECT_EQ(plain.cycles, sampled.cycles);
+  EXPECT_EQ(stats::to_json(plain.counters), stats::to_json(sampled.counters));
+}
+
+// --- hot-block attribution --------------------------------------------------
+
+TEST(HotBlocks, AttributesNamedLockBlocks) {
+  harness::MachineConfig cfg;
+  cfg.nprocs = 8;
+  cfg.obs.hot_blocks = true;
+  const auto r = sampled_lock_run(cfg);
+
+  ASSERT_FALSE(r.hot.empty());
+  // Score-descending, deterministic order.
+  for (std::size_t i = 1; i < r.hot.size(); ++i)
+    EXPECT_GE(r.hot[i - 1].cell.score(), r.hot[i].cell.score());
+  // The contended ticket-lock counters must be the hottest block, and the
+  // shared allocator must resolve its symbolic name.
+  EXPECT_NE(r.hot[0].name.find("ticket"), std::string::npos) << r.hot[0].name;
+  EXPECT_GT(r.hot[0].cell.miss_total() + r.hot[0].cell.update_total(), 0u);
+}
+
+TEST(HotBlocks, CountsMatchGlobalCounters) {
+  harness::MachineConfig cfg;
+  cfg.nprocs = 4;
+  cfg.protocol = proto::Protocol::PU;
+  cfg.obs.hot_blocks = true;
+  cfg.obs.hot_top_k = 1u << 20;  // everything
+  const auto r = sampled_lock_run(cfg);
+
+  std::uint64_t misses = 0, updates = 0;
+  for (const auto& row : r.hot) {
+    misses += row.cell.miss_total();
+    updates += row.cell.update_total();
+  }
+  // Attribution rides the classifier hooks, so per-block counts are exact.
+  EXPECT_EQ(misses, r.counters.misses.total());
+  EXPECT_EQ(updates, r.counters.updates.total());
+}
+
+// --- perfetto sink ----------------------------------------------------------
+
+TEST(PerfettoSink, EmitsBalancedTraceWithMonotoneTracks) {
+  std::ostringstream os;
+  obs::PerfettoSink sink(os);
+  sink.begin_run("tk/i/P4");
+
+  harness::MachineConfig cfg;
+  cfg.nprocs = 4;
+  cfg.obs.sink = &sink;
+  const auto r = sampled_lock_run(cfg);
+  (void)r;
+  sink.finish();
+
+  const std::string trace = os.str();
+  ASSERT_TRUE(json_balanced(trace)) << trace.substr(0, 200);
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"tk/i/P4\""), std::string::npos);
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+
+  // Per-(pid,tid) timestamps must be monotone non-decreasing in file order,
+  // and every flow start must have a matching finish.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> last_ts;
+  std::map<std::int64_t, int> flows;  // id -> starts - finishes
+  std::size_t records = 0;
+  for (const std::string& raw : lines_of(trace)) {
+    if (raw.empty() || raw[0] != '{' || raw.find("\"ts\":") == std::string::npos)
+      continue;
+    std::string rec = raw;
+    if (rec.back() == ',') rec.pop_back();
+    ASSERT_TRUE(json_balanced(rec)) << rec;
+    ++records;
+    const auto pid = field_u64(rec, "pid");
+    const auto tid = field_u64(rec, "tid");
+    const auto ts = field_u64(rec, "ts");
+    ASSERT_GE(pid, 0);
+    ASSERT_GE(ts, 0);
+    auto [it, fresh] = last_ts.try_emplace({pid, tid}, ts);
+    if (!fresh) {
+      EXPECT_LE(it->second, ts) << "track (" << pid << "," << tid
+                                << ") went backwards: " << rec;
+      it->second = ts;
+    }
+    const std::string ph = field_str(rec, "ph");
+    if (ph == "s") ++flows[field_u64(rec, "id")];
+    if (ph == "f") --flows[field_u64(rec, "id")];
+  }
+  EXPECT_GT(records, 0u);
+  EXPECT_GT(last_ts.size(), 1u) << "expected more than one node track";
+  for (const auto& [id, balance] : flows)
+    EXPECT_EQ(balance, 0) << "unbalanced flow id " << id;
+}
+
+TEST(PerfettoSink, SeparatesRunsIntoProcesses) {
+  std::ostringstream os;
+  obs::PerfettoSink sink(os);
+  for (int run = 0; run < 2; ++run) {
+    sink.begin_run("run" + std::to_string(run));
+    harness::MachineConfig cfg;
+    cfg.nprocs = 2;
+    cfg.obs.sink = &sink;
+    (void)sampled_lock_run(cfg);
+  }
+  sink.finish();
+  const std::string trace = os.str();
+  ASSERT_TRUE(json_balanced(trace));
+  EXPECT_NE(trace.find("\"run0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"run1\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":2"), std::string::npos);
+}
+
+// --- jsonl sink --------------------------------------------------------------
+
+TEST(JsonlSink, OneBalancedObjectPerLine) {
+  std::ostringstream os;
+  obs::JsonlSink sink(os);
+  sink.begin_run("lines");
+
+  harness::MachineConfig cfg;
+  cfg.nprocs = 2;
+  cfg.obs.sink = &sink;
+  (void)sampled_lock_run(cfg);
+  sink.finish();
+
+  const auto lines = lines_of(os.str());
+  ASSERT_GT(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"run\":\"lines\"}");
+  for (const std::string& l : lines) {
+    ASSERT_FALSE(l.empty());
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+    EXPECT_TRUE(json_balanced(l)) << l;
+  }
+  // Network events carry flow ids that join send to recv.
+  EXPECT_NE(os.str().find("\"kind\":\"send\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"kind\":\"recv\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"flow\":"), std::string::npos);
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(Observability, TraceIsDeterministic) {
+  const auto render = [] {
+    std::ostringstream os;
+    obs::PerfettoSink sink(os);
+    sink.begin_run("det");
+    harness::MachineConfig cfg;
+    cfg.nprocs = 4;
+    cfg.obs.sink = &sink;
+    cfg.obs.sample_interval = 300;
+    cfg.obs.hot_blocks = true;
+    (void)sampled_lock_run(cfg);
+    sink.finish();
+    return os.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+} // namespace

@@ -15,7 +15,7 @@ TEST(TraceLog, RecordsAndFormats) {
   sim::TraceLog t;
   t.log(sim::TraceCat::Cache, 42, "cache%u <- %s", 3u, "GetS");
   ASSERT_EQ(t.recent().size(), 1u);
-  EXPECT_EQ(t.recent()[0], "t=42 cache3 <- GetS");
+  EXPECT_EQ(t.recent()[0], "t=42 [cache] cache3 <- GetS");
   EXPECT_EQ(t.total_events(), 1u);
 }
 
@@ -24,8 +24,8 @@ TEST(TraceLog, RingBounded) {
   for (int i = 0; i < 100; ++i) t.log(sim::TraceCat::Home, i, "ev%d", i);
   EXPECT_EQ(t.recent().size(), 8u);
   EXPECT_EQ(t.total_events(), 100u);
-  EXPECT_EQ(t.recent().back(), "t=99 ev99");
-  EXPECT_EQ(t.recent().front(), "t=92 ev92");
+  EXPECT_EQ(t.recent().back(), "t=99 [home] ev99");
+  EXPECT_EQ(t.recent().front(), "t=92 [home] ev92");
 }
 
 TEST(TraceLog, CategoryMasking) {
@@ -33,7 +33,9 @@ TEST(TraceLog, CategoryMasking) {
   t.log(sim::TraceCat::Cache, 1, "hidden");
   t.log(sim::TraceCat::Home, 2, "visible");
   ASSERT_EQ(t.recent().size(), 1u);
-  EXPECT_EQ(t.recent()[0], "t=2 visible");
+  EXPECT_EQ(t.recent()[0], "t=2 [home] visible");
+  // Masked events are suppressed from the ring but still counted.
+  EXPECT_EQ(t.total_events(), 2u);
   EXPECT_TRUE(t.on(sim::TraceCat::Home));
   EXPECT_FALSE(t.on(sim::TraceCat::Cache));
 }
@@ -41,7 +43,7 @@ TEST(TraceLog, CategoryMasking) {
 TEST(TraceLog, TailJoinsLastN) {
   sim::TraceLog t;
   for (int i = 0; i < 5; ++i) t.log(sim::TraceCat::Cpu, i, "e%d", i);
-  EXPECT_EQ(t.tail(2), "t=3 e3\nt=4 e4\n");
+  EXPECT_EQ(t.tail(2), "t=3 [cpu] e3\nt=4 [cpu] e4\n");
   EXPECT_EQ(t.tail(100), t.tail(5));
 }
 
