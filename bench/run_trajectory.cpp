@@ -1,0 +1,149 @@
+// Bench-trajectory writer: the figure suite distilled into one JSON file.
+//
+// Runs the paper's three synthetic programs (locks, barriers, reductions --
+// figures 8, 11, 14) for every construct under WI / PU / CU with the
+// cycle-accounting profiler attached, and writes a schema-versioned
+// trajectory document (see src/harness/trajectory.hpp): per benchmark the
+// total cycles, the paper's latency metric, p50/p99 operation latencies,
+// and the per-category cycle breakdown. tools/bench_compare diffs two such
+// documents; CI regenerates one per push and compares it against the
+// committed BENCH_ppopp97.json baseline.
+//
+//   run_trajectory [--out=FILE] [--scale=X] [--procs=a,b] [--paper]
+//
+// Defaults: --out=BENCH_ppopp97.json, --scale=0.02, --procs=16. The
+// simulator is deterministic, so a given tree always produces the same
+// bytes and the baseline can be compared exactly.
+#include "bench_common.hpp"
+#include "harness/trajectory.hpp"
+
+#include <fstream>
+
+using namespace ccbench;
+
+namespace {
+
+harness::TrajectoryEntry make_entry(std::string name, const harness::RunResult& r) {
+  harness::TrajectoryEntry e;
+  e.name = std::move(name);
+  e.cycles = r.cycles;
+  e.avg_latency = r.avg_latency;
+  e.p50 = static_cast<double>(r.latency.percentile(0.50));
+  e.p99 = static_cast<double>(r.latency.percentile(0.99));
+  if (r.profile.enabled()) {
+    const auto totals = r.profile.totals();
+    e.breakdown.assign(totals.begin(), totals.end());
+  }
+  return e;
+}
+
+std::string point_name(std::string_view fig, std::string_view tag,
+                       proto::Protocol proto, unsigned p) {
+  std::string s{fig};
+  s += '/';
+  s += tag;
+  s += '/';
+  s += proto::to_string(proto);
+  s += "/p";
+  s += std::to_string(p);
+  return s;
+}
+
+harness::MachineConfig machine(proto::Protocol proto, unsigned p) {
+  harness::MachineConfig cfg;
+  cfg.protocol = proto;
+  cfg.nprocs = p;
+  cfg.obs.profile = true;  // the breakdown vector is part of the document
+  return cfg;
+}
+
+harness::TrajectoryDoc run_suite(const harness::BenchOptions& opts) {
+  harness::TrajectoryDoc doc;
+  doc.bench = "ppopp97";
+  for (proto::Protocol proto : kProtocols) {
+    for (unsigned p : opts.procs) {
+      for (harness::LockKind k : {harness::LockKind::Ticket, harness::LockKind::Mcs,
+                                  harness::LockKind::UcMcs}) {
+        harness::LockParams params;
+        params.total_acquires = opts.scaled(32000);
+        const auto r = harness::run_lock_experiment(machine(proto, p), k, params);
+        doc.entries.push_back(
+            make_entry(point_name("fig08", lock_tag(k), proto, p), r));
+      }
+      for (harness::BarrierKind k :
+           {harness::BarrierKind::Central, harness::BarrierKind::Dissemination,
+            harness::BarrierKind::Tree, harness::BarrierKind::CombiningTree}) {
+        harness::BarrierParams params;
+        params.episodes = opts.scaled(5000);
+        const auto r = harness::run_barrier_experiment(machine(proto, p), k, params);
+        doc.entries.push_back(
+            make_entry(point_name("fig11", barrier_tag(k), proto, p), r));
+      }
+      for (harness::ReductionKind k :
+           {harness::ReductionKind::Parallel, harness::ReductionKind::Sequential}) {
+        harness::ReductionParams params;
+        params.rounds = opts.scaled(5000);
+        const auto r = harness::run_reduction_experiment(machine(proto, p), k, params);
+        doc.entries.push_back(
+            make_entry(point_name("fig14", reduction_tag(k), proto, p), r));
+      }
+    }
+  }
+  return doc;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string out = "BENCH_ppopp97.json";
+    harness::BenchOptions opts;
+    opts.scale = 0.02;
+    opts.procs = {16};
+    // Same flags as the figure benches, plus --out; re-parse what we need
+    // here because the trajectory writer has no table/CSV output.
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--out=", 0) == 0) {
+        out = a.substr(6);
+      } else if (a == "--paper") {
+        opts.scale = 1.0;
+      } else if (a.rfind("--scale=", 0) == 0) {
+        opts.scale = std::atof(a.c_str() + 8);
+      } else if (a.rfind("--procs=", 0) == 0) {
+        std::vector<unsigned> procs;
+        std::string list = a.substr(8);
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+          std::size_t comma = list.find(',', pos);
+          if (comma == std::string::npos) comma = list.size();
+          procs.push_back(
+              static_cast<unsigned>(std::stoul(list.substr(pos, comma - pos))));
+          pos = comma + 1;
+        }
+        if (procs.empty())
+          throw std::invalid_argument("--procs needs at least one value");
+        opts.procs = std::move(procs);
+      } else {
+        throw std::invalid_argument("unknown argument: " + a);
+      }
+    }
+    if (opts.scale <= 0.0 || opts.scale > 1.0)
+      throw std::invalid_argument("scale must be in (0, 1]");
+
+    const harness::TrajectoryDoc doc = run_suite(opts);
+    if (out == "-") {
+      harness::write_trajectory(std::cout, doc);
+    } else {
+      std::ofstream os(out);
+      if (!os) throw std::runtime_error("cannot open output file: " + out);
+      harness::write_trajectory(os, doc);
+      std::cout << "wrote " << doc.entries.size() << " benchmarks to " << out
+                << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -25,6 +25,7 @@
 #include "harness/cli.hpp"
 #include "harness/figure.hpp"
 #include "harness/machine.hpp"
+#include "harness/trajectory.hpp"
 #include "harness/workloads.hpp"
 #include "mem/address.hpp"
 #include "mem/cache.hpp"
@@ -35,6 +36,7 @@
 #include "net/message.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "obs/cycle_accounting.hpp"
 #include "obs/hot_blocks.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "obs/perfetto_sink.hpp"

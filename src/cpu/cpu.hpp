@@ -14,6 +14,7 @@
 #pragma once
 
 #include "mem/address.hpp"
+#include "obs/cycle_accounting.hpp"
 #include "proto/protocol.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/task.hpp"
@@ -34,6 +35,19 @@ public:
   [[nodiscard]] sim::EventQueue& queue() noexcept { return q_; }
   [[nodiscard]] proto::CacheController& controller() noexcept { return cc_; }
 
+  /// Attach the cycle-accounting ledger (nullptr = profiling off). Every
+  /// awaitable below then opens a span at issue and resolves its category
+  /// at completion; spans that finish at the uncontended cost inherit the
+  /// enclosing scope so hits never masquerade as stalls.
+  void set_ledger(obs::CycleLedger* l) noexcept { ledger_ = l; }
+  [[nodiscard]] obs::CycleLedger* ledger() const noexcept { return ledger_; }
+
+  /// Uncontended completion costs (paper section 3.1): at or below these,
+  /// a span is not a stall. Loads/stores: the 1-cycle hit / buffer-accept;
+  /// atomics: hit + read-modify-write when the line is held locally.
+  static constexpr Cycle kHitLatency = 1;
+  static constexpr Cycle kLocalAtomicLatency = 3;
+
   // --- awaitables -----------------------------------------------------
 
   struct LoadAwaiter {
@@ -43,7 +57,9 @@ public:
     std::uint64_t result = 0;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
+      if (auto* l = cpu.ledger_) l->begin_load(cpu.id_, addr);
       cpu.cc_.cpu_load(addr, size, [this, h](std::uint64_t v) {
+        if (auto* l = cpu.ledger_) l->end_load(cpu.id_, kHitLatency);
         result = v;
         h.resume();
       });
@@ -58,7 +74,11 @@ public:
     std::uint64_t value;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      cpu.cc_.cpu_store(addr, size, value, [h] { h.resume(); });
+      if (auto* l = cpu.ledger_) l->begin(cpu.id_, obs::CycleCat::WbFull);
+      cpu.cc_.cpu_store(addr, size, value, [this, h] {
+        if (auto* l = cpu.ledger_) l->end_fast(cpu.id_, kHitLatency);
+        h.resume();
+      });
     }
     void await_resume() const noexcept {}
   };
@@ -71,7 +91,9 @@ public:
     std::uint64_t result = 0;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
+      if (auto* l = cpu.ledger_) l->begin(cpu.id_, obs::CycleCat::NetQueue);
       cpu.cc_.cpu_atomic(op, addr, v1, v2, [this, h](std::uint64_t v) {
+        if (auto* l = cpu.ledger_) l->end_fast(cpu.id_, kLocalAtomicLatency);
         result = v;
         h.resume();
       });
@@ -83,7 +105,11 @@ public:
     Cpu& cpu;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      cpu.cc_.cpu_fence([h] { h.resume(); });
+      if (auto* l = cpu.ledger_) l->begin(cpu.id_, obs::CycleCat::ReleaseAck);
+      cpu.cc_.cpu_fence([this, h] {
+        if (auto* l = cpu.ledger_) l->end_fast(cpu.id_, 0);
+        h.resume();
+      });
     }
     void await_resume() const noexcept {}
   };
@@ -93,7 +119,11 @@ public:
     Addr addr;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      cpu.cc_.cpu_flush(addr, [h] { h.resume(); });
+      if (auto* l = cpu.ledger_) l->begin(cpu.id_, obs::CycleCat::ReleaseAck);
+      cpu.cc_.cpu_flush(addr, [this, h] {
+        if (auto* l = cpu.ledger_) l->end_fast(cpu.id_, kHitLatency);
+        h.resume();
+      });
     }
     void await_resume() const noexcept {}
   };
@@ -115,7 +145,9 @@ public:
     std::uint64_t await_resume() const noexcept { return result; }
 
     void poll() {
+      if (auto* l = cpu.ledger_) l->begin_load(cpu.id_, addr);
       cpu.cc_.cpu_load(addr, size, [this](std::uint64_t v) {
+        if (auto* l = cpu.ledger_) l->end_load(cpu.id_, kHitLatency);
         if (pred(v)) {
           result = v;
           h_.resume();
@@ -170,6 +202,7 @@ private:
   NodeId id_;
   sim::EventQueue& q_;
   proto::CacheController& cc_;
+  obs::CycleLedger* ledger_ = nullptr;
 };
 
 } // namespace ccsim::cpu

@@ -60,6 +60,8 @@ bool parse_obs_arg(ObsOptions& o, int argc, char** argv, int& i) {
   } else if (take_value("--hot-top", argc, argv, i, v)) {
     o.hot_top_k = std::strtoull(v.c_str(), nullptr, 10);
     if (o.hot_top_k == 0) throw std::invalid_argument("--hot-top must be > 0");
+  } else if (std::strcmp(argv[i], "--profile") == 0) {
+    o.profile = true;
   } else {
     return false;
   }

@@ -14,6 +14,9 @@
 //   --trace-format F      ring | jsonl | perfetto (default perfetto)
 //   --sample-interval N   snapshot counter deltas every N cycles
 //   --hot-top K           report the K hottest blocks (default 16)
+//   --profile             cycle-accounting profiler: per-category stall
+//                         breakdown and sync-phase latency histograms,
+//                         printed per run and embedded in --json output
 // Each obs flag accepts both `--flag value` and `--flag=value`.
 // The REPRO_SCALE environment variable, if set, provides the default scale.
 #pragma once
@@ -34,8 +37,10 @@ struct ObsOptions {
   obs::TraceFormat trace_format = obs::TraceFormat::Perfetto;
   Cycle sample_interval = 0;  ///< --sample-interval (0 = off)
   std::size_t hot_top_k = 16; ///< --hot-top
+  bool profile = false;       ///< --profile (cycle accounting)
   [[nodiscard]] bool any() const noexcept {
-    return !json_path.empty() || !trace_path.empty() || sample_interval != 0;
+    return !json_path.empty() || !trace_path.empty() || sample_interval != 0 ||
+           profile;
   }
 };
 

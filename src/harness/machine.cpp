@@ -1,5 +1,6 @@
 #include "harness/machine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -15,6 +16,9 @@ Machine::Machine(MachineConfig cfg)
       updates_(cfg.nprocs, counters_),
       net_(q_, net::MeshTopology(cfg.nprocs), cfg.net, &counters_.net),
       hot_(cfg.obs.hot_blocks ? std::make_unique<obs::HotBlockTable>() : nullptr),
+      ledger_(cfg.obs.profile
+                  ? std::make_unique<obs::CycleLedger>(cfg.nprocs, q_)
+                  : nullptr),
       ctx_{q_,
            net_,
            alloc_,
@@ -25,6 +29,7 @@ Machine::Machine(MachineConfig cfg)
            cfg.cu_threshold,
            trace_.get(),
            hot_.get(),
+           ledger_.get(),
            cfg.consistency,
            cfg.hybrid_default} {
   if (trace_) {
@@ -35,6 +40,7 @@ Machine::Machine(MachineConfig cfg)
     misses_.set_hot(hot_.get());
     updates_.set_hot(hot_.get());
   }
+  if (ledger_) misses_.set_ledger(ledger_.get());
   nodes_.reserve(cfg_.nprocs);
   procs_.reserve(cfg_.nprocs);
   for (NodeId i = 0; i < cfg_.nprocs; ++i) {
@@ -43,6 +49,7 @@ Machine::Machine(MachineConfig cfg)
                                                    cfg_.timings));
     net_.attach(i, *nodes_.back());
     procs_.push_back(std::make_unique<cpu::Processor>(i, q_, nodes_[i]->cache_ctrl()));
+    procs_.back()->cpu().set_ledger(ledger_.get());
   }
 }
 
@@ -98,6 +105,7 @@ Cycle Machine::run(const std::vector<Program>& programs) {
     throw std::runtime_error(msg);
   }
   updates_.finalize(q_.now());
+  if (ledger_) ledger_->finalize(q_.now());
   if (sampler) {
     // After finalize: termination-classified updates land in the final
     // sample, preserving "interval deltas sum to the final counters".
@@ -110,6 +118,17 @@ Cycle Machine::run(const std::vector<Program>& programs) {
 std::vector<obs::HotBlockTable::Row> Machine::hot_blocks() const {
   if (!hot_) return {};
   return hot_->top(cfg_.obs.hot_top_k, &alloc_);
+}
+
+obs::ProfileSnapshot Machine::profile() const {
+  if (!ledger_) return {};
+  obs::ProfileSnapshot s = ledger_->snapshot();
+  for (const auto& n : nodes_) {
+    const mem::WriteBuffer& wb = n->cache_ctrl().write_buffer();
+    s.wb_peak = std::max<std::uint64_t>(s.wb_peak, wb.peak());
+    s.wb_pushes += wb.pushes();
+  }
+  return s;
 }
 
 Cycle Machine::run_all(const Program& program) {

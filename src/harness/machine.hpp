@@ -8,6 +8,7 @@
 
 #include "cpu/processor.hpp"
 #include "net/network.hpp"
+#include "obs/cycle_accounting.hpp"
 #include "obs/hot_blocks.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -35,6 +36,10 @@ struct ObsConfig {
   /// Structured trace sink (JSONL, Perfetto, ...). Non-owning; must outlive
   /// the Machine. Setting a sink enables tracing even if trace is false.
   obs::TraceSink* sink = nullptr;
+  /// Attach the cycle-accounting profiler: attribute every simulated cycle
+  /// of every processor to a cost category and collect per-(construct,
+  /// phase) latency histograms. See Machine::profile().
+  bool profile = false;
 };
 
 struct MachineConfig {
@@ -105,6 +110,10 @@ public:
   /// obs.hot_blocks). Valid after run().
   [[nodiscard]] std::vector<obs::HotBlockTable::Row> hot_blocks() const;
 
+  /// The run's cycle accounting (default-constructed snapshot with
+  /// enabled() == false unless obs.profile). Valid after run().
+  [[nodiscard]] obs::ProfileSnapshot profile() const;
+
 private:
   MachineConfig cfg_;
   sim::EventQueue q_;
@@ -115,6 +124,7 @@ private:
   stats::UpdateClassifier updates_;
   net::Network net_;
   std::unique_ptr<obs::HotBlockTable> hot_;
+  std::unique_ptr<obs::CycleLedger> ledger_;  ///< must precede ctx_
   proto::ProtocolContext ctx_;
   obs::IntervalSeries samples_;
   std::vector<std::unique_ptr<proto::Node>> nodes_;

@@ -3,9 +3,11 @@
 #include "harness/machine.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "obs/perfetto_sink.hpp"
+#include "stats/report.hpp"
 
 #include <cinttypes>
 #include <cstdio>
+#include <iostream>
 #include <stdexcept>
 #include <utility>
 
@@ -44,10 +46,20 @@ void ObsSession::configure(MachineConfig& cfg, std::string label) {
   cfg.obs.hot_blocks = !opts_.json_path.empty();
   cfg.obs.hot_top_k = opts_.hot_top_k;
   cfg.obs.sink = sink_.get();
+  cfg.obs.profile = opts_.profile;
   if (sink_) sink_->begin_run(label_);
 }
 
 void ObsSession::record(const RunResult& r) {
+  if (sink_) {
+    if (!r.samples.empty()) sink_->on_samples(r.samples);
+    if (r.profile.enabled()) sink_->on_profile(r.profile);
+  }
+  if (opts_.profile && r.profile.enabled()) {
+    std::cout << "[" << label_ << "]\n";
+    stats::print_profile(std::cout, r.profile);
+    std::cout << '\n';
+  }
   if (!opts_.json_path.empty()) runs_.push_back({label_, r});
 }
 
@@ -79,6 +91,10 @@ void write_run_json(stats::JsonWriter& w, const std::string& label,
   w.key("cycles").value(r.cycles);
   w.key("avg_latency").value(r.avg_latency);
   w.key("counters").raw(stats::to_json(r.counters));
+  if (r.latency.count() != 0) {
+    w.key("latency");
+    stats::histogram_to_json(w, r.latency);
+  }
 
   if (!r.samples.empty()) {
     w.key("samples").begin_object();
@@ -124,6 +140,34 @@ void write_run_json(stats::JsonWriter& w, const std::string& label,
       w.end_object();
     }
     w.end_array();
+  }
+
+  if (r.profile.enabled()) {
+    const auto totals = r.profile.totals();
+    w.key("profile").begin_object();
+    w.key("wall").value(r.profile.wall);
+    w.key("conserved").value(r.profile.conserved());
+    w.key("totals").begin_object();
+    for (std::size_t i = 0; i < obs::kCycleCats; ++i)
+      w.key(obs::to_string(static_cast<obs::CycleCat>(i))).value(totals[i]);
+    w.end_object();
+    w.key("per_proc").begin_array();
+    for (const auto& proc : r.profile.per_proc) {
+      w.begin_array();
+      for (Cycle c : proc) w.value(c);
+      w.end_array();
+    }
+    w.end_array();
+    w.key("phases").begin_object();
+    for (std::size_t i = 0; i < obs::kSyncPhases; ++i) {
+      if (r.profile.phases[i].count() == 0) continue;
+      w.key(obs::to_string(static_cast<obs::SyncPhase>(i)));
+      stats::histogram_to_json(w, r.profile.phases[i]);
+    }
+    w.end_object();
+    w.key("wb_peak").value(r.profile.wb_peak);
+    w.key("wb_pushes").value(r.profile.wb_pushes);
+    w.end_object();
   }
 
   w.end_object();

@@ -1,0 +1,133 @@
+#include "harness/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ccsim::harness {
+
+void write_trajectory(std::ostream& os, const TrajectoryDoc& doc) {
+  stats::JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value(TrajectoryDoc::kSchema);
+  w.key("bench").value(doc.bench);
+  w.key("entries").begin_array();
+  for (const TrajectoryEntry& e : doc.entries) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cycles").value(e.cycles);
+    w.key("avg_latency").value(e.avg_latency);
+    w.key("p50").value(e.p50);
+    w.key("p99").value(e.p99);
+    if (!e.breakdown.empty()) {
+      w.key("breakdown").begin_array();
+      for (Cycle c : e.breakdown) w.value(c);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+TrajectoryDoc read_trajectory(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const stats::JsonValue root = stats::parse_json(buf.str());
+  if (root.kind != stats::JsonValue::Kind::Object)
+    throw std::runtime_error("trajectory: document is not a JSON object");
+
+  const stats::JsonValue& schema = root.at("schema");
+  if (!schema.is_integer || schema.integer != TrajectoryDoc::kSchema)
+    throw std::runtime_error(
+        "trajectory: unsupported schema version (this reader speaks " +
+        std::to_string(TrajectoryDoc::kSchema) + ")");
+
+  TrajectoryDoc doc;
+  doc.bench = root.at("bench").string;
+  for (const stats::JsonValue& v : root.at("entries").array) {
+    TrajectoryEntry e;
+    e.name = v.at("name").string;
+    e.cycles = v.at("cycles").integer;
+    e.avg_latency = v.at("avg_latency").number;
+    e.p50 = v.at("p50").number;
+    e.p99 = v.at("p99").number;
+    if (const stats::JsonValue* b = v.find("breakdown"))
+      for (const stats::JsonValue& c : b->array) e.breakdown.push_back(c.integer);
+    doc.entries.push_back(std::move(e));
+  }
+  return doc;
+}
+
+CompareResult compare_trajectories(const TrajectoryDoc& base,
+                                   const TrajectoryDoc& cand,
+                                   const CompareOptions& opt) {
+  std::unordered_map<std::string, const TrajectoryEntry*> by_name;
+  for (const TrajectoryEntry& e : cand.entries) by_name.emplace(e.name, &e);
+
+  CompareResult r;
+  std::set<std::string> matched;
+  for (const TrajectoryEntry& b : base.entries) {
+    auto it = by_name.find(b.name);
+    if (it == by_name.end()) {
+      r.missing.push_back(b.name);
+      if (opt.require_all) r.ok = false;
+      continue;
+    }
+    matched.insert(b.name);
+    const TrajectoryEntry& c = *it->second;
+    CompareResult::Row row;
+    row.name = b.name;
+    row.base = b.avg_latency;
+    row.cand = c.avg_latency;
+    row.delta_pct =
+        b.avg_latency > 0.0 ? (c.avg_latency - b.avg_latency) / b.avg_latency * 100.0
+                            : 0.0;
+    row.regression = row.delta_pct > opt.max_regress_pct;
+    if (row.regression) r.ok = false;
+    r.rows.push_back(std::move(row));
+  }
+  for (const TrajectoryEntry& c : cand.entries)
+    if (matched.find(c.name) == matched.end()) r.added.push_back(c.name);
+  return r;
+}
+
+void print_compare(std::ostream& os, const CompareResult& r,
+                   const CompareOptions& opt) {
+  std::size_t width = 4;
+  for (const CompareResult::Row& row : r.rows)
+    width = std::max(width, row.name.size());
+
+  char line[160];
+  std::snprintf(line, sizeof line, "%-*s %12s %12s %8s\n",
+                static_cast<int>(width), "name", "base", "cand", "delta");
+  os << line;
+  for (const CompareResult::Row& row : r.rows) {
+    std::snprintf(line, sizeof line, "%-*s %12.2f %12.2f %+7.1f%%%s\n",
+                  static_cast<int>(width), row.name.c_str(), row.base, row.cand,
+                  row.delta_pct, row.regression ? "  REGRESSION" : "");
+    os << line;
+  }
+  for (const std::string& n : r.missing)
+    os << "MISSING from candidate: " << n << '\n';
+  for (const std::string& n : r.added)
+    os << "new in candidate: " << n << '\n';
+  if (r.ok) {
+    os << "OK: no regressions beyond " << opt.max_regress_pct << "%\n";
+  } else {
+    std::size_t regressed = 0;
+    for (const CompareResult::Row& row : r.rows) regressed += row.regression;
+    os << "FAIL: " << regressed << " regression(s) beyond "
+       << opt.max_regress_pct << "%";
+    if (!r.missing.empty()) os << ", " << r.missing.size() << " missing";
+    os << '\n';
+  }
+}
+
+} // namespace ccsim::harness

@@ -1,0 +1,84 @@
+// Bench-trajectory documents: the perf-regression contract for CI.
+//
+// A trajectory is a schema-versioned JSON snapshot of the figure suite --
+// one entry per (figure, construct, protocol, machine size) point, carrying
+// the run's total cycles, the paper's per-operation latency metric, its
+// p50/p99 operation latencies, and the cycle-accounting breakdown vector.
+// bench/run_trajectory writes one; tools/bench_compare diffs two and fails
+// on latency regressions beyond a threshold, which is what lets CI keep a
+// committed baseline (BENCH_ppopp97.json) honest.
+//
+// The simulator is deterministic, so a baseline regenerated from the same
+// tree is byte-identical and any drift is a real behavior change.
+#pragma once
+
+#include "sim/types.hpp"
+#include "stats/json.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccsim::harness {
+
+/// One benchmark point in a trajectory document.
+struct TrajectoryEntry {
+  std::string name;          ///< e.g. "fig08/lock/tk/WI/p16"
+  Cycle cycles = 0;          ///< total simulated cycles for the run
+  double avg_latency = 0.0;  ///< the paper's per-operation latency metric
+  double p50 = 0.0;          ///< median per-operation latency
+  double p99 = 0.0;          ///< tail per-operation latency
+  /// Cycle-accounting totals in CycleCat order (empty = profiling off).
+  std::vector<Cycle> breakdown;
+};
+
+struct TrajectoryDoc {
+  /// Bump when the document layout changes incompatibly; readers reject
+  /// mismatches instead of silently comparing apples to oranges.
+  static constexpr std::uint64_t kSchema = 1;
+  std::string bench;  ///< suite name, e.g. "ppopp97"
+  std::vector<TrajectoryEntry> entries;
+};
+
+/// Serialize `doc` as canonical JSON (insertion-order keys, byte-stable
+/// for a given doc, trailing newline).
+void write_trajectory(std::ostream& os, const TrajectoryDoc& doc);
+
+/// Parse a trajectory document. Throws std::runtime_error on malformed
+/// JSON, missing keys, or a schema version this reader does not speak.
+[[nodiscard]] TrajectoryDoc read_trajectory(std::istream& is);
+
+struct CompareOptions {
+  /// Fail when a benchmark's avg_latency regresses by more than this
+  /// percentage over the baseline (slowdowns only; speedups always pass).
+  double max_regress_pct = 10.0;
+  /// Also fail when a benchmark present in the baseline is missing from
+  /// the candidate (coverage must not silently shrink).
+  bool require_all = true;
+};
+
+/// The verdict for one benchmark and for the diff as a whole.
+struct CompareResult {
+  struct Row {
+    std::string name;
+    double base = 0.0;       ///< baseline avg_latency
+    double cand = 0.0;       ///< candidate avg_latency
+    double delta_pct = 0.0;  ///< (cand - base) / base * 100; + = slower
+    bool regression = false;
+  };
+  std::vector<Row> rows;             ///< every benchmark in both docs
+  std::vector<std::string> missing;  ///< in baseline, absent from candidate
+  std::vector<std::string> added;    ///< in candidate only (informational)
+  bool ok = true;                    ///< no regressions (and, if required, no missing)
+};
+
+[[nodiscard]] CompareResult compare_trajectories(const TrajectoryDoc& base,
+                                                 const TrajectoryDoc& cand,
+                                                 const CompareOptions& opt);
+
+/// Human-readable diff table: one row per benchmark with the delta,
+/// regressions flagged, missing/added listed, and a one-line verdict.
+void print_compare(std::ostream& os, const CompareResult& r,
+                   const CompareOptions& opt);
+
+} // namespace ccsim::harness

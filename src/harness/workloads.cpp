@@ -64,6 +64,7 @@ std::unique_ptr<sync::Barrier> make_barrier(Machine& m, BarrierKind kind) {
 void capture_obs(RunResult& r, const Machine& m) {
   r.samples = m.samples();
   r.hot = m.hot_blocks();
+  r.profile = m.profile();
 }
 } // namespace
 

@@ -32,6 +32,8 @@ struct RunResult {
   obs::IntervalSeries samples;
   /// Hottest blocks with allocator names (empty unless obs.hot_blocks).
   std::vector<obs::HotBlockTable::Row> hot;
+  /// Cycle accounting (enabled() == false unless obs.profile).
+  obs::ProfileSnapshot profile;
 };
 
 /// Lock experiment (section 4.1): each processor acquires, holds for

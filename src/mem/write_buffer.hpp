@@ -31,7 +31,15 @@ public:
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
-  void push(WriteBufferEntry e) { entries_.push_back(e); }
+  void push(WriteBufferEntry e) {
+    entries_.push_back(e);
+    ++pushes_;
+    if (entries_.size() > peak_) peak_ = entries_.size();
+  }
+
+  /// Lifetime stats (never reset): stores accepted, deepest occupancy.
+  [[nodiscard]] std::uint64_t pushes() const noexcept { return pushes_; }
+  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
 
   [[nodiscard]] const WriteBufferEntry& front() const { return entries_.front(); }
   void pop() { entries_.pop_front(); }
@@ -50,6 +58,8 @@ public:
 private:
   std::size_t capacity_;
   std::deque<WriteBufferEntry> entries_;
+  std::uint64_t pushes_ = 0;
+  std::size_t peak_ = 0;
 };
 
 } // namespace ccsim::mem

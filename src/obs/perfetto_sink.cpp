@@ -55,8 +55,24 @@ void PerfettoSink::on_event(const TraceEvent& e) {
   buf_.push_back(e);
 }
 
+void PerfettoSink::on_samples(const IntervalSeries& s) {
+  if (pid_ == 0) {
+    pid_ = 1;
+    run_label_ = "run";
+  }
+  samples_ = s;
+}
+
+void PerfettoSink::on_profile(const ProfileSnapshot& p) {
+  if (pid_ == 0) {
+    pid_ = 1;
+    run_label_ = "run";
+  }
+  profile_ = p;
+}
+
 void PerfettoSink::flush_run() {
-  if (pid_ == 0 || buf_.empty()) {
+  if (pid_ == 0 || (buf_.empty() && samples_.empty() && !profile_.enabled())) {
     buf_.clear();
     return;
   }
@@ -122,7 +138,44 @@ void PerfettoSink::flush_run() {
         break;
     }
   }
+
+  // Interval samples as a counter track: one "C" record per interval, its
+  // args graphed as stacked sub-series of the "traffic" counter.
+  for (const Sample& s : samples_.samples) {
+    emit("{\"name\":\"traffic\",\"ph\":\"C\",\"pid\":" + u64(pid_) +
+         ",\"ts\":" + u64(s.begin) + ",\"args\":{\"misses\":" +
+         u64(s.delta.misses.total()) + ",\"updates\":" +
+         u64(s.delta.updates.total()) + ",\"messages\":" + u64(s.delta.net.messages) +
+         ",\"flits\":" + u64(s.delta.net.flits) + "}}");
+  }
+  if (!samples_.samples.empty()) {
+    // Close the last step so the final interval renders with its width.
+    emit("{\"name\":\"traffic\",\"ph\":\"C\",\"pid\":" + u64(pid_) +
+         ",\"ts\":" + u64(samples_.samples.back().end) +
+         ",\"args\":{\"misses\":0,\"updates\":0,\"messages\":0,\"flits\":0}}");
+  }
+
+  // The cycle-accounting breakdown as one counter record per processor on
+  // its node track: the args stack the run's per-category totals.
+  for (NodeId p = 0; p < profile_.per_proc.size(); ++p) {
+    std::string rec = "{\"name\":\"cycle_breakdown\",\"ph\":\"C\",\"pid\":" +
+                      u64(pid_) + ",\"tid\":" + u64(p) + ",\"ts\":0,\"args\":{";
+    bool first = true;
+    for (std::size_t c = 0; c < kCycleCats; ++c) {
+      if (profile_.per_proc[p][c] == 0) continue;
+      if (!first) rec += ',';
+      first = false;
+      rec += '"';
+      rec += to_string(static_cast<CycleCat>(c));
+      rec += "\":" + u64(profile_.per_proc[p][c]);
+    }
+    rec += "}}";
+    emit(rec);
+  }
+
   buf_.clear();
+  samples_ = {};
+  profile_ = {};
 }
 
 void PerfettoSink::finish() {

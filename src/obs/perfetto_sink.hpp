@@ -11,12 +11,18 @@
 //     arrows (ph "s"/"f" with a per-message id) that draw the message's
 //     flight across tracks;
 //   - controller and CPU events are instants on their node's track.
+//   - interval-sampled counter deltas become counter tracks ("ph":"C"):
+//     per-interval miss/update/network rates graphed under the run;
+//   - a cycle-accounting snapshot becomes one counter record per processor
+//     on its node track, stacking the run's category breakdown.
 //
 // Simulated cycles map 1:1 to trace microseconds. Events are buffered per
 // run and sorted by timestamp before writing, so each track's `ts` sequence
 // is monotone in the file -- some consumers (and our tests) require that.
 #pragma once
 
+#include "obs/cycle_accounting.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 #include <ostream>
@@ -31,6 +37,8 @@ public:
   void begin_run(const std::string& label) override;
   void on_event(const TraceEvent& e) override;
   void finish() override;
+  void on_samples(const IntervalSeries& s) override;
+  void on_profile(const ProfileSnapshot& p) override;
 
 private:
   void flush_run();
@@ -38,6 +46,8 @@ private:
 
   std::ostream& os_;
   std::vector<TraceEvent> buf_;
+  IntervalSeries samples_;
+  ProfileSnapshot profile_;
   std::string run_label_;
   int pid_ = 0;
   bool first_record_ = true;

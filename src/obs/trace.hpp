@@ -32,6 +32,9 @@
 
 namespace ccsim::obs {
 
+struct IntervalSeries;   // obs/sampler.hpp
+struct ProfileSnapshot;  // obs/cycle_accounting.hpp
+
 /// Trace categories; enable any subset.
 enum class TraceCat : unsigned {
   Cache = 1u << 0,  ///< cache-controller message receptions / decisions
@@ -99,6 +102,15 @@ public:
   virtual void begin_run(const std::string& label) { (void)label; }
   virtual void on_event(const TraceEvent& e) = 0;
   virtual void finish() {}
+
+  // Optional run-scoped attachments, delivered after the run completes and
+  // before the next begin_run()/finish(). Sinks that can render counter
+  // tracks (Perfetto) override; everyone else ignores them.
+
+  /// The run's interval-sampled counter deltas.
+  virtual void on_samples(const IntervalSeries& s) { (void)s; }
+  /// The run's cycle-accounting snapshot.
+  virtual void on_profile(const ProfileSnapshot& p) { (void)p; }
 };
 
 /// Formatted text lines streamed to an ostream (--trace-format ring).

@@ -149,7 +149,11 @@ void BaseCacheController::cpu_fence(DoneCallback done) {
     ctx_.q.schedule(0, std::move(done));
     return;
   }
-  fence_waiters_.push_back(std::move(done));
+  const Cycle entered = ctx_.q.now();
+  fence_waiters_.push_back([this, entered, done = std::move(done)]() mutable {
+    ctx_.counters.mem.fence_stall_cycles += ctx_.q.now() - entered;
+    done();
+  });
 }
 
 void BaseCacheController::entry_done() {

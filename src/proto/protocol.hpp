@@ -21,6 +21,7 @@
 #include <memory>
 
 namespace ccsim::obs {
+class CycleLedger;
 class HotBlockTable;
 }
 
@@ -66,6 +67,7 @@ struct ProtocolContext {
   unsigned cu_threshold = 4;  ///< competitive-update invalidation threshold
   sim::TraceLog* trace = nullptr;  ///< optional structured event trace
   obs::HotBlockTable* hot = nullptr;  ///< optional per-block attribution
+  obs::CycleLedger* ledger = nullptr;  ///< optional cycle-accounting profiler
   Consistency consistency = Consistency::Release;
   /// Hybrid machines: protocol for blocks whose domain id is 0.
   Protocol hybrid_default = Protocol::WI;

@@ -35,6 +35,10 @@ void LatencyHistogram::add(Cycle v) noexcept {
 
 Cycle LatencyHistogram::percentile(double q) const noexcept {
   if (count_ == 0) return 0;
+  // q = 0 means "the smallest observed value", which bucket interpolation
+  // cannot recover once the minimum's bucket holds other samples (a
+  // single-sample bucket used to answer with its clamped UPPER bound).
+  if (q <= 0.0) return min();
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
   std::uint64_t seen = 0;
@@ -54,6 +58,17 @@ Cycle LatencyHistogram::percentile(double q) const noexcept {
     seen = next;
   }
   return max_;
+}
+
+std::vector<LatencyHistogram::Bucket> LatencyHistogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    Cycle lo, hi;
+    bucket_range(b, lo, hi);
+    out.push_back({std::max(lo, min()), std::min(hi, max_), buckets_[b]});
+  }
+  return out;
 }
 
 std::string LatencyHistogram::summary() const {

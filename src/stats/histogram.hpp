@@ -14,12 +14,23 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ccsim::stats {
 
 class LatencyHistogram {
 public:
   static constexpr std::size_t kBuckets = 40;
+
+  /// One occupied bucket: inclusive value bounds and its sample count.
+  /// Bounds are clamped to the observed [min, max], so external tooling
+  /// can re-bin or merge distributions without inventing out-of-range
+  /// mass (the satellite of stats::histogram_to_json).
+  struct Bucket {
+    Cycle lo = 0;
+    Cycle hi = 0;
+    std::uint64_t count = 0;
+  };
 
   void add(Cycle v) noexcept;
 
@@ -31,7 +42,11 @@ public:
   }
 
   /// Value at quantile q in [0, 1] (interpolated within the bucket).
+  /// q = 0 is exact: it returns min().
   [[nodiscard]] Cycle percentile(double q) const noexcept;
+
+  /// The occupied buckets in ascending value order.
+  [[nodiscard]] std::vector<Bucket> nonzero_buckets() const;
 
   /// "n=.. mean=.. p50=.. p90=.. p99=.. max=.." one-liner.
   [[nodiscard]] std::string summary() const;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "stats/counters.hpp"
+#include "stats/histogram.hpp"
 
 #include <cstdint>
 #include <ostream>
@@ -56,5 +57,41 @@ private:
 /// is fixed (declaration order of the enums and structs).
 void to_json(std::ostream& os, const Counters& c);
 [[nodiscard]] std::string to_json(const Counters& c);
+
+/// Serialize a latency histogram in value position: summary statistics
+/// (n, mean, min, max, p50/p90/p99) plus the full occupied-bucket contents
+/// (inclusive bounds and counts), so external tooling can re-bin and merge
+/// distributions instead of being limited to our percentile choices.
+void histogram_to_json(JsonWriter& w, const LatencyHistogram& h);
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (for tools that consume our own documents, e.g.
+// tools/bench_compare diffing two bench-trajectory files). Accepts
+// standard JSON; numbers are kept as doubles plus the exact uint64 when
+// the text is a non-negative integer.
+// ---------------------------------------------------------------------
+
+class JsonValue {
+public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t integer = 0;  ///< exact value when the text was 0..2^64-1
+  bool is_integer = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered object members.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// find() that throws std::runtime_error naming the missing key.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+};
+
+/// Parse one JSON document. Throws std::runtime_error (with byte offset)
+/// on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
 
 } // namespace ccsim::stats

@@ -1,5 +1,6 @@
 #include "stats/miss_classifier.hpp"
 
+#include "obs/cycle_accounting.hpp"
 #include "obs/hot_blocks.hpp"
 
 #include <cassert>
@@ -78,6 +79,7 @@ MissClass MissClassifier::classify_miss(NodeId proc, Addr addr) {
   }
   ++counters_.misses[c];
   if (hot_) hot_->on_miss(mem::block_of(addr), c);
+  if (ledger_) ledger_->note_miss(proc, addr, c);
   return c;
 }
 

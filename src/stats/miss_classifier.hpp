@@ -27,6 +27,7 @@
 #include <vector>
 
 namespace ccsim::obs {
+class CycleLedger;
 class HotBlockTable;
 }
 
@@ -40,6 +41,10 @@ public:
   /// Attach a hot-block table: every classified miss and every invalidation
   /// is additionally attributed to its block (nullptr = off).
   void set_hot(obs::HotBlockTable* hot) noexcept { hot_ = hot; }
+
+  /// Attach a cycle ledger: every classified miss is reported so an open
+  /// read-stall span can resolve to its miss class (nullptr = off).
+  void set_ledger(obs::CycleLedger* l) noexcept { ledger_ = l; }
 
   /// A store to `addr` became globally visible, performed by `proc`.
   /// (WI: at the writer's cache once exclusive; PU/CU: at the home.)
@@ -83,6 +88,7 @@ private:
   unsigned nprocs_;
   Counters& counters_;
   obs::HotBlockTable* hot_ = nullptr;
+  obs::CycleLedger* ledger_ = nullptr;
   std::unordered_map<mem::BlockAddr, BlockInfo> blocks_;
 };
 

@@ -1,6 +1,8 @@
 #include "stats/report.hpp"
 
+#include <cstdio>
 #include <ostream>
+#include <string>
 
 namespace ccsim::stats {
 
@@ -32,6 +34,47 @@ void print_report(std::ostream& os, const Counters& c) {
   os << "memory:  " << c.mem.shared_reads << " shared reads (" << c.mem.read_hits
      << " hits), " << c.mem.shared_writes << " shared writes, " << c.mem.atomics
      << " atomics, " << c.mem.write_buffer_stalls << " WB-stall cycles\n";
+}
+
+void print_profile(std::ostream& os, const obs::ProfileSnapshot& p) {
+  if (!p.enabled()) return;
+  const auto totals = p.totals();
+  const double denom =
+      static_cast<double>(p.wall) * static_cast<double>(p.per_proc.size());
+
+  os << "cycle breakdown (" << p.per_proc.size() << " procs x " << p.wall
+     << " cycles";
+  if (!p.conserved()) os << ", NOT CONSERVED";
+  os << "):\n";
+  for (std::size_t i = 0; i < obs::kCycleCats; ++i) {
+    if (totals[i] == 0) continue;
+    const double pct = denom > 0.0 ? 100.0 * static_cast<double>(totals[i]) / denom
+                                   : 0.0;
+    char line[64];
+    std::snprintf(line, sizeof line, "  %-14s %6.2f%% ",
+                  std::string(to_string(static_cast<obs::CycleCat>(i))).c_str(),
+                  pct);
+    os << line;
+    // Stacked-bar rendering: one '#' per 2% of total processor-cycles.
+    const int cols = static_cast<int>(pct / 2.0 + 0.5);
+    for (int b = 0; b < cols; ++b) os << '#';
+    os << '\n';
+  }
+  os << "write buffer: peak occupancy " << p.wb_peak << ", " << p.wb_pushes
+     << " stores accepted\n";
+
+  bool any_phase = false;
+  for (const auto& h : p.phases) any_phase |= h.count() != 0;
+  if (any_phase) {
+    os << "sync phases:\n";
+    for (std::size_t i = 0; i < obs::kSyncPhases; ++i) {
+      if (p.phases[i].count() == 0) continue;
+      char name[32];
+      std::snprintf(name, sizeof name, "  %-17s ",
+                    std::string(to_string(static_cast<obs::SyncPhase>(i))).c_str());
+      os << name << p.phases[i].summary() << '\n';
+    }
+  }
 }
 
 } // namespace ccsim::stats

@@ -1,7 +1,8 @@
 // Human-readable run reports: categorized traffic summaries for examples
-// and the protocol-explorer tool.
+// and the protocol-explorer tool, plus the --profile cycle-accounting table.
 #pragma once
 
+#include "obs/cycle_accounting.hpp"
 #include "stats/counters.hpp"
 
 #include <iosfwd>
@@ -11,5 +12,11 @@ namespace ccsim::stats {
 /// Print a full breakdown of one run's counters (misses by class, updates
 /// by class, network volume, memory-system activity).
 void print_report(std::ostream& os, const Counters& c);
+
+/// Print the cycle-accounting breakdown of one run: a stacked percentage
+/// bar per category (summed over processors), write-buffer pressure, and
+/// one latency summary line per occupied (construct, phase) histogram.
+/// No-op when the snapshot is disabled.
+void print_profile(std::ostream& os, const obs::ProfileSnapshot& p);
 
 } // namespace ccsim::stats

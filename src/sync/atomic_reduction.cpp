@@ -1,5 +1,7 @@
 #include "sync/atomic_reduction.hpp"
 
+#include "obs/cycle_accounting.hpp"
+
 namespace ccsim::sync {
 
 AtomicSumReduction::AtomicSumReduction(harness::Machine& m, Barrier& barrier,
@@ -9,7 +11,11 @@ AtomicSumReduction::AtomicSumReduction(harness::Machine& m, Barrier& barrier,
 
 sim::Task AtomicSumReduction::reduce(cpu::Cpu& c, std::uint64_t value,
                                      std::uint64_t* result) {
-  (void)co_await c.fetch_add(sum_, value);
+  {
+    obs::ScopedPhase combine(c.ledger(), c.id(), obs::CycleCat::ReductionWait,
+                             obs::SyncPhase::ReductionCombine);
+    (void)co_await c.fetch_add(sum_, value);
+  }
   co_await barrier_.wait(c);
   const std::uint64_t global = co_await c.load(sum_);
   if (result) *result = global;
@@ -23,12 +29,16 @@ CasMaxReduction::CasMaxReduction(harness::Machine& m, Barrier& barrier, NodeId h
 sim::Task CasMaxReduction::reduce(cpu::Cpu& c, std::uint64_t value,
                                   std::uint64_t* result) {
   // Lock-free maximum: retry while our candidate still beats the global.
-  for (;;) {
-    const std::uint64_t cur = co_await c.load(max_);
-    if (cur >= value) break;
-    const std::uint64_t old = co_await c.compare_swap(max_, cur, value);
-    if (old == cur) break;  // our CAS installed the new maximum
-    // Lost a race: someone raised the value; re-check against it.
+  {
+    obs::ScopedPhase combine(c.ledger(), c.id(), obs::CycleCat::ReductionWait,
+                             obs::SyncPhase::ReductionCombine);
+    for (;;) {
+      const std::uint64_t cur = co_await c.load(max_);
+      if (cur >= value) break;
+      const std::uint64_t old = co_await c.compare_swap(max_, cur, value);
+      if (old == cur) break;  // our CAS installed the new maximum
+      // Lost a race: someone raised the value; re-check against it.
+    }
   }
   co_await barrier_.wait(c);
   const std::uint64_t global = co_await c.load(max_);

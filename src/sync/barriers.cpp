@@ -1,5 +1,7 @@
 #include "sync/barriers.hpp"
 
+#include "obs/cycle_accounting.hpp"
+
 #include <bit>
 #include <string>
 
@@ -24,10 +26,15 @@ sim::Task CentralBarrier::wait(cpu::Cpu& c) {
   // Each processor toggles its own (private) sense.
   const std::uint64_t ls = local_sense_[c.id()] ^ 1u;
   local_sense_[c.id()] = static_cast<std::uint8_t>(ls);
-  co_await c.think(1);
-
-  const std::uint64_t prev =
-      co_await c.fetch_add(count_addr(), static_cast<std::uint64_t>(-1));
+  std::uint64_t prev;
+  {
+    obs::ScopedPhase arrive(c.ledger(), c.id(), obs::CycleCat::BarrierWait,
+                            obs::SyncPhase::BarrierArrive);
+    co_await c.think(1);
+    prev = co_await c.fetch_add(count_addr(), static_cast<std::uint64_t>(-1));
+  }
+  obs::ScopedPhase depart(c.ledger(), c.id(), obs::CycleCat::BarrierWait,
+                          obs::SyncPhase::BarrierDepart);
   if (prev == 1) {
     // Last arriver: reset the count, then toggle the global sense.
     co_await c.store(count_addr(), parties_);
@@ -64,7 +71,13 @@ sim::Task DisseminationBarrier::wait(cpu::Cpu& c) {
   }
   for (unsigned k = 0; k < rounds_; ++k) {
     const NodeId partner = static_cast<NodeId>((pid + (1u << k)) % parties_);
-    co_await c.store(flag_addr(partner, st.parity, k), st.sense);
+    {
+      obs::ScopedPhase arrive(c.ledger(), c.id(), obs::CycleCat::BarrierWait,
+                              obs::SyncPhase::BarrierArrive);
+      co_await c.store(flag_addr(partner, st.parity, k), st.sense);
+    }
+    obs::ScopedPhase depart(c.ledger(), c.id(), obs::CycleCat::BarrierWait,
+                            obs::SyncPhase::BarrierDepart);
     const std::uint64_t sense = st.sense;
     co_await c.spin_until(flag_addr(pid, st.parity, k),
                           [sense](std::uint64_t v) { return v == sense; });
@@ -107,21 +120,27 @@ sim::Task TreeBarrier::wait(cpu::Cpu& c) {
 
   // Wait until childnotready = {false,false,false,false} (the packed word
   // reaches zero), then re-arm it to havechild with one store.
-  if (havechild_word_[i] != 0) {
-    co_await c.spin_until(nodes_[i], [](std::uint64_t v) { return v == 0; });
-    co_await c.store(nodes_[i], havechild_word_[i], 4);
-  }
-
-  if (i != 0) {
-    // Tell the parent this subtree has arrived, then wait for wakeup.
-    const NodeId parent = (i - 1) / kArity;
-    const unsigned slot = (i - 1) % kArity;
+  {
+    obs::ScopedPhase arrive(c.ledger(), c.id(), obs::CycleCat::BarrierWait,
+                            obs::SyncPhase::BarrierArrive);
+    if (havechild_word_[i] != 0) {
+      co_await c.spin_until(nodes_[i], [](std::uint64_t v) { return v == 0; });
+      co_await c.store(nodes_[i], havechild_word_[i], 4);
+    }
     co_await c.fence();  // arrivals release this subtree's prior writes
-    co_await c.store(childnotready_addr(parent, slot), 0, 1);
+    if (i != 0) {
+      // Tell the parent this subtree has arrived.
+      const NodeId parent = (i - 1) / kArity;
+      const unsigned slot = (i - 1) % kArity;
+      co_await c.store(childnotready_addr(parent, slot), 0, 1);
+    }
+  }
+  obs::ScopedPhase depart(c.ledger(), c.id(), obs::CycleCat::BarrierWait,
+                          obs::SyncPhase::BarrierDepart);
+  if (i != 0) {
     co_await c.spin_until(globalsense_,
                           [sense](std::uint64_t v) { return v == sense; });
   } else {
-    co_await c.fence();
     co_await c.store(globalsense_, sense);
   }
   sense_[i] = sense ^ 1u;
@@ -158,15 +177,23 @@ sim::Task CombiningTreeBarrier::wait(cpu::Cpu& c) {
   const std::uint64_t sense = sense_[i];
 
   // Arrival: 4-ary fan-in, identical to the figure-5 tree.
-  if (havechild_word_[i] != 0) {
-    co_await c.spin_until(arrival_[i], [](std::uint64_t v) { return v == 0; });
-    co_await c.store(arrival_[i], havechild_word_[i], 4);
+  {
+    obs::ScopedPhase arrive(c.ledger(), c.id(), obs::CycleCat::BarrierWait,
+                            obs::SyncPhase::BarrierArrive);
+    if (havechild_word_[i] != 0) {
+      co_await c.spin_until(arrival_[i], [](std::uint64_t v) { return v == 0; });
+      co_await c.store(arrival_[i], havechild_word_[i], 4);
+    }
+    if (i != 0) {
+      const NodeId parent = (i - 1) / kArrivalArity;
+      const unsigned slot = (i - 1) % kArrivalArity;
+      co_await c.fence();
+      co_await c.store(childnotready_addr(parent, slot), 0, 1);
+    }
   }
+  obs::ScopedPhase depart(c.ledger(), c.id(), obs::CycleCat::BarrierWait,
+                          obs::SyncPhase::BarrierDepart);
   if (i != 0) {
-    const NodeId parent = (i - 1) / kArrivalArity;
-    const unsigned slot = (i - 1) % kArrivalArity;
-    co_await c.fence();
-    co_await c.store(childnotready_addr(parent, slot), 0, 1);
     // Wakeup: spin on a flag in our own memory (exactly one writer).
     co_await c.spin_until(wakeup_[i],
                           [sense](std::uint64_t v) { return v == sense; });

@@ -1,8 +1,12 @@
 #include "sync/magic_sync.hpp"
 
+#include "obs/cycle_accounting.hpp"
+
 namespace ccsim::sync {
 
 sim::Task MagicLock::acquire(cpu::Cpu& c) {
+  obs::ScopedPhase phase(c.ledger(), c.id(), obs::CycleCat::LockWait,
+                         obs::SyncPhase::LockAcquire);
   co_await AcquireAwaiter{*this};
   // The acquire-path instructions run once the lock is granted (exiting
   // the spin, re-establishing the critical section) and are therefore part
@@ -12,6 +16,8 @@ sim::Task MagicLock::acquire(cpu::Cpu& c) {
 }
 
 sim::Task MagicLock::release(cpu::Cpu& c) {
+  obs::ScopedPhase phase(c.ledger(), c.id(), obs::CycleCat::LockWait,
+                         obs::SyncPhase::LockRelease);
   // The lock variable itself generates no traffic, but release semantics
   // still apply: critical-section writes must be globally performed before
   // the next holder can run.
@@ -30,8 +36,14 @@ sim::Task MagicLock::release(cpu::Cpu& c) {
 sim::Task MagicBarrier::wait(cpu::Cpu& c) {
   // Same release semantics as a real barrier: everything written before
   // arrival is visible to every processor after departure.
-  co_await c.think(kArriveCycles);
-  co_await c.fence();
+  {
+    obs::ScopedPhase arrive(c.ledger(), c.id(), obs::CycleCat::BarrierWait,
+                            obs::SyncPhase::BarrierArrive);
+    co_await c.think(kArriveCycles);
+    co_await c.fence();
+  }
+  obs::ScopedPhase depart(c.ledger(), c.id(), obs::CycleCat::BarrierWait,
+                          obs::SyncPhase::BarrierDepart);
   co_await WaitAwaiter{*this};
 }
 

@@ -1,0 +1,187 @@
+// Cycle-accounting profiler tests: the conservation invariant (every
+// simulated cycle lands in exactly one category, per processor, exact),
+// timing-neutrality (enabling the profiler cannot change the simulation),
+// and per-(construct, phase) histogram sanity.
+#include "ccsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace {
+
+using namespace ccsim;
+
+harness::MachineConfig profiled(proto::Protocol p, unsigned nprocs) {
+  harness::MachineConfig cfg;
+  cfg.protocol = p;
+  cfg.nprocs = nprocs;
+  cfg.obs.profile = true;
+  return cfg;
+}
+
+void expect_conserved(const harness::RunResult& r, const char* what) {
+  ASSERT_TRUE(r.profile.enabled()) << what;
+  EXPECT_EQ(r.profile.wall, r.cycles) << what;
+  EXPECT_TRUE(r.profile.conserved()) << what;
+  for (std::size_t p = 0; p < r.profile.per_proc.size(); ++p) {
+    const auto& by = r.profile.per_proc[p];
+    const Cycle sum = std::accumulate(by.begin(), by.end(), Cycle{0});
+    EXPECT_EQ(sum, r.profile.wall) << what << " proc " << p;
+  }
+}
+
+constexpr proto::Protocol kAll[] = {proto::Protocol::WI, proto::Protocol::PU,
+                                    proto::Protocol::CU};
+
+TEST(CycleAccounting, DisabledByDefault) {
+  harness::MachineConfig cfg;
+  cfg.nprocs = 4;
+  const auto r = harness::run_lock_experiment(cfg, harness::LockKind::Ticket,
+                                              {.total_acquires = 200});
+  EXPECT_FALSE(r.profile.enabled());
+  EXPECT_EQ(r.profile.wall, 0u);
+}
+
+TEST(CycleAccounting, ProfilingDoesNotPerturbTiming) {
+  for (proto::Protocol p : kAll) {
+    harness::MachineConfig off;
+    off.protocol = p;
+    off.nprocs = 8;
+    const auto base = harness::run_lock_experiment(
+        off, harness::LockKind::Mcs, {.total_acquires = 400});
+    const auto prof = harness::run_lock_experiment(
+        profiled(p, 8), harness::LockKind::Mcs, {.total_acquires = 400});
+    EXPECT_EQ(base.cycles, prof.cycles) << proto::to_string(p);
+    EXPECT_EQ(base.counters.misses.total(), prof.counters.misses.total())
+        << proto::to_string(p);
+  }
+}
+
+TEST(CycleAccounting, LockConservationAcrossProtocolsAndSeeds) {
+  for (proto::Protocol p : kAll) {
+    for (std::uint64_t seed : {0x5eedULL, 0xfeedULL}) {
+      for (harness::LockKind k : {harness::LockKind::Ticket,
+                                  harness::LockKind::Mcs,
+                                  harness::LockKind::UcMcs}) {
+        harness::LockParams params;
+        params.total_acquires = 320;
+        params.random_pause_max = 40;  // exercise the pseudorandom path
+        params.seed = seed;
+        const auto r = harness::run_lock_experiment(profiled(p, 8), k, params);
+        expect_conserved(r, "lock");
+        const auto totals = r.profile.totals();
+        EXPECT_GT(totals[static_cast<std::size_t>(obs::CycleCat::Compute)], 0u);
+        EXPECT_GT(totals[static_cast<std::size_t>(obs::CycleCat::LockWait)], 0u)
+            << "contended locks must accrue lock-wait cycles";
+      }
+    }
+  }
+}
+
+TEST(CycleAccounting, BarrierConservationAcrossProtocols) {
+  for (proto::Protocol p : kAll) {
+    for (harness::BarrierKind k :
+         {harness::BarrierKind::Central, harness::BarrierKind::Dissemination,
+          harness::BarrierKind::Tree, harness::BarrierKind::CombiningTree}) {
+      const auto r =
+          harness::run_barrier_experiment(profiled(p, 8), k, {.episodes = 60});
+      expect_conserved(r, "barrier");
+      const auto totals = r.profile.totals();
+      EXPECT_GT(totals[static_cast<std::size_t>(obs::CycleCat::BarrierWait)], 0u)
+          << "barrier episodes must accrue barrier-wait cycles";
+    }
+  }
+}
+
+TEST(CycleAccounting, ReductionConservationAcrossProtocolsAndSeeds) {
+  for (proto::Protocol p : kAll) {
+    for (std::uint64_t seed : {0xbeefULL, 0x1234ULL}) {
+      for (harness::ReductionKind k : {harness::ReductionKind::Parallel,
+                                       harness::ReductionKind::Sequential}) {
+        harness::ReductionParams params;
+        params.rounds = 50;
+        params.imbalance_max = 30;
+        params.seed = seed;
+        const auto r = harness::run_reduction_experiment(profiled(p, 8), k, params);
+        expect_conserved(r, "reduction");
+        const auto totals = r.profile.totals();
+        EXPECT_GT(
+            totals[static_cast<std::size_t>(obs::CycleCat::ReductionWait)], 0u)
+            << "reduction rounds must accrue reduction-wait cycles";
+      }
+    }
+  }
+}
+
+TEST(CycleAccounting, LockPhaseHistogramsMatchAcquireCounts) {
+  harness::LockParams params;
+  params.total_acquires = 320;
+  const auto r = harness::run_lock_experiment(profiled(proto::Protocol::WI, 8),
+                                              harness::LockKind::Ticket, params);
+  ASSERT_TRUE(r.profile.enabled());
+  const auto& ph = r.profile.phases;
+  const auto n = [&](obs::SyncPhase s) {
+    return ph[static_cast<std::size_t>(s)].count();
+  };
+  // One acquire / hold / release record per successful acquisition.
+  EXPECT_EQ(n(obs::SyncPhase::LockAcquire), params.total_acquires);
+  EXPECT_EQ(n(obs::SyncPhase::LockHold), params.total_acquires);
+  EXPECT_EQ(n(obs::SyncPhase::LockRelease), params.total_acquires);
+  EXPECT_EQ(n(obs::SyncPhase::BarrierArrive), 0u);
+  // Holds cover the 50-cycle critical section, so the mean must exceed it.
+  EXPECT_GE(ph[static_cast<std::size_t>(obs::SyncPhase::LockHold)].mean(), 50.0);
+}
+
+TEST(CycleAccounting, BarrierPhaseHistogramsMatchEpisodeCounts) {
+  const harness::BarrierParams params{.episodes = 60};
+  const auto r =
+      harness::run_barrier_experiment(profiled(proto::Protocol::WI, 8),
+                                      harness::BarrierKind::Central, params);
+  ASSERT_TRUE(r.profile.enabled());
+  const auto& ph = r.profile.phases;
+  // Every processor contributes one arrive + one depart per episode.
+  const std::uint64_t expect = 8u * params.episodes;
+  EXPECT_EQ(ph[static_cast<std::size_t>(obs::SyncPhase::BarrierArrive)].count(),
+            expect);
+  EXPECT_EQ(ph[static_cast<std::size_t>(obs::SyncPhase::BarrierDepart)].count(),
+            expect);
+}
+
+TEST(CycleAccounting, ReductionPhaseHistogramRecordsCombines) {
+  const auto r = harness::run_reduction_experiment(
+      profiled(proto::Protocol::WI, 8), harness::ReductionKind::Parallel,
+      {.rounds = 50});
+  ASSERT_TRUE(r.profile.enabled());
+  const auto& combine =
+      r.profile.phases[static_cast<std::size_t>(obs::SyncPhase::ReductionCombine)];
+  // Every processor folds once per round.
+  EXPECT_EQ(combine.count(), 8u * 50u);
+}
+
+TEST(CycleAccounting, SnapshotDeterministicAcrossIdenticalRuns) {
+  const auto run = [] {
+    return harness::run_lock_experiment(profiled(proto::Protocol::CU, 8),
+                                        harness::LockKind::Ticket,
+                                        {.total_acquires = 320});
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.profile.per_proc.size(), b.profile.per_proc.size());
+  for (std::size_t p = 0; p < a.profile.per_proc.size(); ++p)
+    EXPECT_EQ(a.profile.per_proc[p], b.profile.per_proc[p]) << "proc " << p;
+  EXPECT_EQ(a.profile.wb_peak, b.profile.wb_peak);
+  EXPECT_EQ(a.profile.wb_pushes, b.profile.wb_pushes);
+}
+
+TEST(CycleAccounting, WriteBufferStatsPopulated) {
+  // The lock workload stores through the write buffer on every release;
+  // peak occupancy and accepted-store counts must be visible.
+  const auto r = harness::run_lock_experiment(profiled(proto::Protocol::WI, 4),
+                                              harness::LockKind::Ticket,
+                                              {.total_acquires = 200});
+  EXPECT_GT(r.profile.wb_pushes, 0u);
+  EXPECT_GE(r.profile.wb_peak, 1u);
+}
+
+} // namespace

@@ -64,6 +64,45 @@ TEST(Histogram, ZeroBucket) {
   EXPECT_EQ(h.max(), 100u);
 }
 
+TEST(Histogram, PercentileZeroIsMin) {
+  // Regression: q = 0 used to interpolate inside the minimum's bucket and
+  // answer with its clamped upper bound once the bucket held other samples.
+  LatencyHistogram h;
+  h.add(42);
+  EXPECT_EQ(h.percentile(0.0), 42u);
+  h.add(40);  // same power-of-two bucket as 42
+  h.add(43);
+  EXPECT_EQ(h.percentile(0.0), 40u);
+  EXPECT_EQ(h.percentile(-0.5), 40u);  // negative clamps to the minimum too
+}
+
+TEST(Histogram, MergePropagatesMinMax) {
+  LatencyHistogram a, b;
+  a.add(100);
+  b.add(7);
+  b.add(9000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_EQ(a.max(), 9000u);
+  EXPECT_EQ(a.percentile(0.0), 7u);
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  // An empty histogram's min_ sentinel must not leak into either operand.
+  LatencyHistogram a, e;
+  a.add(5);
+  a.add(17);
+  a.merge(e);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 17u);
+  e.merge(a);
+  EXPECT_EQ(e.count(), 2u);
+  EXPECT_EQ(e.min(), 5u);
+  EXPECT_EQ(e.max(), 17u);
+}
+
 TEST(Histogram, MergeCombines) {
   LatencyHistogram a, b;
   a.add(1);

@@ -98,6 +98,72 @@ TEST(CountersJson, RealRunProducesParseableTotals) {
             std::string::npos);
 }
 
+TEST(HistogramJson, EmitsSummaryAndBuckets) {
+  stats::LatencyHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(100);
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  stats::histogram_to_json(w, h);
+  const stats::JsonValue v = stats::parse_json(os.str());
+  EXPECT_EQ(v.at("n").integer, 3u);
+  EXPECT_EQ(v.at("min").integer, 3u);
+  EXPECT_EQ(v.at("max").integer, 100u);
+  ASSERT_EQ(v.at("buckets").array.size(), 2u);
+  const stats::JsonValue& b0 = v.at("buckets").array[0];
+  EXPECT_EQ(b0.at("lo").integer, 3u);
+  EXPECT_EQ(b0.at("hi").integer, 3u);
+  EXPECT_EQ(b0.at("n").integer, 2u);
+  // Bucket mass must account for every sample.
+  std::uint64_t mass = 0;
+  for (const auto& b : v.at("buckets").array) mass += b.at("n").integer;
+  EXPECT_EQ(mass, h.count());
+}
+
+TEST(JsonReader, ParsesScalarsArraysObjects) {
+  const stats::JsonValue v = stats::parse_json(
+      R"({"i":42,"f":1.5,"neg":-3,"s":"hi\n","b":true,"z":null,"a":[1,[2],{"k":3}]})");
+  EXPECT_EQ(v.at("i").integer, 42u);
+  EXPECT_TRUE(v.at("i").is_integer);
+  EXPECT_DOUBLE_EQ(v.at("f").number, 1.5);
+  EXPECT_FALSE(v.at("f").is_integer);
+  EXPECT_DOUBLE_EQ(v.at("neg").number, -3.0);
+  EXPECT_EQ(v.at("s").string, "hi\n");
+  EXPECT_TRUE(v.at("b").boolean);
+  EXPECT_EQ(v.at("z").kind, stats::JsonValue::Kind::Null);
+  ASSERT_EQ(v.at("a").array.size(), 3u);
+  EXPECT_EQ(v.at("a").array[1].array[0].integer, 2u);
+  EXPECT_EQ(v.at("a").array[2].at("k").integer, 3u);
+  EXPECT_EQ(v.find("nope"), nullptr);
+  EXPECT_THROW((void)v.at("nope"), std::runtime_error);
+}
+
+TEST(JsonReader, ExactLargeIntegers) {
+  // uint64 values beyond the double mantissa must survive exactly (cycle
+  // counts in trajectory documents can exceed 2^53).
+  const stats::JsonValue v = stats::parse_json(R"({"c":18446744073709551615})");
+  EXPECT_TRUE(v.at("c").is_integer);
+  EXPECT_EQ(v.at("c").integer, 18446744073709551615ull);
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_THROW((void)stats::parse_json("{"), std::runtime_error);
+  EXPECT_THROW((void)stats::parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)stats::parse_json("{\"a\":1} extra"), std::runtime_error);
+  EXPECT_THROW((void)stats::parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)stats::parse_json(""), std::runtime_error);
+}
+
+TEST(JsonReader, RoundTripsWriterOutput) {
+  stats::Counters c;
+  c.misses[stats::MissClass::Cold] = 3;
+  c.net.messages = 7;
+  const stats::JsonValue v = stats::parse_json(stats::to_json(c));
+  EXPECT_EQ(v.at("misses").at("by").at("cold").integer, 3u);
+  EXPECT_EQ(v.at("net").at("messages").integer, 7u);
+}
+
 TEST(CountersDelta, DeltaAndAccumulateAreInverse) {
   harness::MachineConfig cfg;
   cfg.nprocs = 4;

@@ -1,0 +1,163 @@
+// Trajectory document tests: round-trip, schema gating, and the
+// bench_compare regression rules (notably: an injected 20% latency
+// regression must fail the gate -- ISSUE acceptance criterion).
+#include "harness/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace ccsim;
+using harness::CompareOptions;
+using harness::TrajectoryDoc;
+using harness::TrajectoryEntry;
+
+TrajectoryEntry entry(std::string name, double avg) {
+  TrajectoryEntry e;
+  e.name = std::move(name);
+  e.cycles = static_cast<Cycle>(avg * 100);
+  e.avg_latency = avg;
+  e.p50 = avg * 0.9;
+  e.p99 = avg * 3.0;
+  e.breakdown = {10, 0, 5, 0, 0, 0, 1, 2, 3, 4, 0, 0, 6};
+  return e;
+}
+
+TrajectoryDoc sample_doc() {
+  TrajectoryDoc d;
+  d.bench = "ppopp97";
+  d.entries.push_back(entry("fig08/tk/WI/p16", 250.0));
+  d.entries.push_back(entry("fig11/cb/PU/p16", 1800.5));
+  d.entries.push_back(entry("fig14/pr/CU/p16", 950.25));
+  return d;
+}
+
+TEST(Trajectory, RoundTripPreservesEverything) {
+  const TrajectoryDoc d = sample_doc();
+  std::stringstream ss;
+  harness::write_trajectory(ss, d);
+  const TrajectoryDoc r = harness::read_trajectory(ss);
+  ASSERT_EQ(r.bench, d.bench);
+  ASSERT_EQ(r.entries.size(), d.entries.size());
+  for (std::size_t i = 0; i < d.entries.size(); ++i) {
+    EXPECT_EQ(r.entries[i].name, d.entries[i].name);
+    EXPECT_EQ(r.entries[i].cycles, d.entries[i].cycles);
+    EXPECT_DOUBLE_EQ(r.entries[i].avg_latency, d.entries[i].avg_latency);
+    EXPECT_DOUBLE_EQ(r.entries[i].p50, d.entries[i].p50);
+    EXPECT_DOUBLE_EQ(r.entries[i].p99, d.entries[i].p99);
+    EXPECT_EQ(r.entries[i].breakdown, d.entries[i].breakdown);
+  }
+}
+
+TEST(Trajectory, WriteIsByteStable) {
+  std::stringstream a, b;
+  harness::write_trajectory(a, sample_doc());
+  harness::write_trajectory(b, sample_doc());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Trajectory, RejectsWrongSchema) {
+  std::stringstream ss(R"({"schema":99,"bench":"x","entries":[]})");
+  EXPECT_THROW((void)harness::read_trajectory(ss), std::runtime_error);
+}
+
+TEST(Trajectory, RejectsMalformedJson) {
+  std::stringstream ss("{\"schema\":1,");
+  EXPECT_THROW((void)harness::read_trajectory(ss), std::runtime_error);
+}
+
+TEST(Trajectory, IdenticalDocsCompareClean) {
+  const auto r =
+      harness::compare_trajectories(sample_doc(), sample_doc(), CompareOptions{});
+  EXPECT_TRUE(r.ok);
+  ASSERT_EQ(r.rows.size(), 3u);
+  for (const auto& row : r.rows) {
+    EXPECT_FALSE(row.regression);
+    EXPECT_DOUBLE_EQ(row.delta_pct, 0.0);
+  }
+  EXPECT_TRUE(r.missing.empty());
+  EXPECT_TRUE(r.added.empty());
+}
+
+TEST(Trajectory, TwentyPercentRegressionFailsTheGate) {
+  const TrajectoryDoc base = sample_doc();
+  TrajectoryDoc cand = sample_doc();
+  cand.entries[1].avg_latency *= 1.20;  // synthetic 20% slowdown
+  const auto r = harness::compare_trajectories(base, cand, CompareOptions{});
+  EXPECT_FALSE(r.ok) << "a 20% regression must fail the default 10% gate";
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_FALSE(r.rows[0].regression);
+  EXPECT_TRUE(r.rows[1].regression);
+  EXPECT_NEAR(r.rows[1].delta_pct, 20.0, 1e-9);
+  EXPECT_FALSE(r.rows[2].regression);
+}
+
+TEST(Trajectory, RegressionWithinThresholdPasses) {
+  const TrajectoryDoc base = sample_doc();
+  TrajectoryDoc cand = sample_doc();
+  cand.entries[0].avg_latency *= 1.05;  // 5% < the 10% default
+  const auto r = harness::compare_trajectories(base, cand, CompareOptions{});
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.rows[0].regression);
+}
+
+TEST(Trajectory, SpeedupsNeverFail) {
+  const TrajectoryDoc base = sample_doc();
+  TrajectoryDoc cand = sample_doc();
+  for (auto& e : cand.entries) e.avg_latency *= 0.5;
+  const auto r = harness::compare_trajectories(base, cand, CompareOptions{});
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(Trajectory, ThresholdIsConfigurable) {
+  const TrajectoryDoc base = sample_doc();
+  TrajectoryDoc cand = sample_doc();
+  cand.entries[2].avg_latency *= 1.20;
+  CompareOptions loose;
+  loose.max_regress_pct = 25.0;
+  EXPECT_TRUE(harness::compare_trajectories(base, cand, loose).ok);
+  CompareOptions tight;
+  tight.max_regress_pct = 5.0;
+  EXPECT_FALSE(harness::compare_trajectories(base, cand, tight).ok);
+}
+
+TEST(Trajectory, MissingBenchmarkFailsUnlessAllowed) {
+  const TrajectoryDoc base = sample_doc();
+  TrajectoryDoc cand = sample_doc();
+  cand.entries.pop_back();
+  CompareOptions strict;
+  const auto r = harness::compare_trajectories(base, cand, strict);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.missing.size(), 1u);
+  EXPECT_EQ(r.missing[0], "fig14/pr/CU/p16");
+
+  CompareOptions lax;
+  lax.require_all = false;
+  EXPECT_TRUE(harness::compare_trajectories(base, cand, lax).ok);
+}
+
+TEST(Trajectory, AddedBenchmarksAreInformational) {
+  const TrajectoryDoc base = sample_doc();
+  TrajectoryDoc cand = sample_doc();
+  cand.entries.push_back(entry("fig08/tk/WI/p32", 400.0));
+  const auto r = harness::compare_trajectories(base, cand, CompareOptions{});
+  EXPECT_TRUE(r.ok);
+  ASSERT_EQ(r.added.size(), 1u);
+  EXPECT_EQ(r.added[0], "fig08/tk/WI/p32");
+}
+
+TEST(Trajectory, PrintCompareNamesRegressions) {
+  const TrajectoryDoc base = sample_doc();
+  TrajectoryDoc cand = sample_doc();
+  cand.entries[0].avg_latency *= 1.5;
+  const CompareOptions opt;
+  const auto r = harness::compare_trajectories(base, cand, opt);
+  std::stringstream ss;
+  harness::print_compare(ss, r, opt);
+  EXPECT_NE(ss.str().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(ss.str().find("FAIL"), std::string::npos);
+}
+
+} // namespace
