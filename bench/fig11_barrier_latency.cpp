@@ -14,26 +14,40 @@ void body(const harness::BenchOptions& opts, harness::ObsSession& obs) {
   for (unsigned p : opts.procs) headers.push_back("P=" + std::to_string(p));
   harness::Table t(std::move(headers));
 
+  std::vector<harness::SweepJob> jobs;
+  for (harness::BarrierKind k :
+       {harness::BarrierKind::Central, harness::BarrierKind::Dissemination,
+        harness::BarrierKind::Tree}) {
+    for (proto::Protocol proto : kProtocols) {
+      for (unsigned p : opts.procs) {
+        harness::SweepJob j;
+        j.name = series_label(barrier_tag(k), proto) + "/P" + std::to_string(p);
+        j.machine.protocol = proto;
+        j.machine.nprocs = p;
+        j.family = harness::ConstructFamily::Barrier;
+        j.barrier = k;
+        j.barrier_params.episodes = opts.scaled(5000);
+        jobs.push_back(std::move(j));
+      }
+    }
+  }
+
+  const auto results = run_cells(jobs, opts, obs);
+  std::size_t i = 0;
   for (harness::BarrierKind k :
        {harness::BarrierKind::Central, harness::BarrierKind::Dissemination,
         harness::BarrierKind::Tree}) {
     for (proto::Protocol proto : kProtocols) {
       std::vector<std::string> row{series_label(barrier_tag(k), proto)};
       for (unsigned p : opts.procs) {
-        harness::MachineConfig cfg;
-        cfg.protocol = proto;
-        cfg.nprocs = p;
-        obs.configure(cfg, series_label(barrier_tag(k), proto) + "/P" +
-                               std::to_string(p));
-        const auto r = harness::run_barrier_experiment(cfg, k,
-                                                       {opts.scaled(5000)});
-        obs.record(r);
-        row.push_back(harness::Table::num(r.avg_latency, 1));
+        (void)p;
+        row.push_back(cell_num(results[i++]));
       }
       t.add_row(std::move(row));
     }
   }
   print_table(t, opts);
+  check_failures(results);
 }
 
 } // namespace

@@ -10,11 +10,16 @@
 // committed BENCH_ppopp97.json baseline.
 //
 //   run_trajectory [--out=FILE] [--scale=X] [--procs=a,b] [--paper]
+//                  [--jobs=N]
 //
-// Defaults: --out=BENCH_ppopp97.json, --scale=0.02, --procs=16. The
-// simulator is deterministic, so a given tree always produces the same
-// bytes and the baseline can be compared exactly.
+// Defaults: --out=BENCH_ppopp97.json, --scale=0.02, --procs=16, --jobs=1.
+// The simulator is deterministic and the suite's cells are independent
+// simulations, so --jobs=N fans them out over the sweep engine with
+// byte-identical output for every N (the committed baseline can be
+// regenerated at full parallelism); a given tree always produces the
+// same bytes and the baseline can be compared exactly.
 #include "bench_common.hpp"
+#include "harness/sweep.hpp"
 #include "harness/trajectory.hpp"
 
 #include <fstream>
@@ -57,38 +62,68 @@ harness::MachineConfig machine(proto::Protocol proto, unsigned p) {
   return cfg;
 }
 
-harness::TrajectoryDoc run_suite(const harness::BenchOptions& opts) {
-  harness::TrajectoryDoc doc;
-  doc.bench = "ppopp97";
+std::vector<harness::SweepJob> suite_jobs(const harness::BenchOptions& opts) {
+  std::vector<harness::SweepJob> jobs;
   for (proto::Protocol proto : kProtocols) {
     for (unsigned p : opts.procs) {
       for (harness::LockKind k : {harness::LockKind::Ticket, harness::LockKind::Mcs,
                                   harness::LockKind::UcMcs}) {
-        harness::LockParams params;
-        params.total_acquires = opts.scaled(32000);
-        const auto r = harness::run_lock_experiment(machine(proto, p), k, params);
-        doc.entries.push_back(
-            make_entry(point_name("fig08", lock_tag(k), proto, p), r));
+        harness::SweepJob j;
+        j.name = point_name("fig08", lock_tag(k), proto, p);
+        j.machine = machine(proto, p);
+        j.family = harness::ConstructFamily::Lock;
+        j.lock = k;
+        j.lock_params.total_acquires = opts.scaled(32000);
+        jobs.push_back(std::move(j));
       }
       for (harness::BarrierKind k :
            {harness::BarrierKind::Central, harness::BarrierKind::Dissemination,
             harness::BarrierKind::Tree, harness::BarrierKind::CombiningTree}) {
-        harness::BarrierParams params;
-        params.episodes = opts.scaled(5000);
-        const auto r = harness::run_barrier_experiment(machine(proto, p), k, params);
-        doc.entries.push_back(
-            make_entry(point_name("fig11", barrier_tag(k), proto, p), r));
+        harness::SweepJob j;
+        j.name = point_name("fig11", barrier_tag(k), proto, p);
+        j.machine = machine(proto, p);
+        j.family = harness::ConstructFamily::Barrier;
+        j.barrier = k;
+        j.barrier_params.episodes = opts.scaled(5000);
+        jobs.push_back(std::move(j));
       }
       for (harness::ReductionKind k :
            {harness::ReductionKind::Parallel, harness::ReductionKind::Sequential}) {
-        harness::ReductionParams params;
-        params.rounds = opts.scaled(5000);
-        const auto r = harness::run_reduction_experiment(machine(proto, p), k, params);
-        doc.entries.push_back(
-            make_entry(point_name("fig14", reduction_tag(k), proto, p), r));
+        harness::SweepJob j;
+        j.name = point_name("fig14", reduction_tag(k), proto, p);
+        j.machine = machine(proto, p);
+        j.family = harness::ConstructFamily::Reduction;
+        j.reduction = k;
+        j.reduction_params.rounds = opts.scaled(5000);
+        jobs.push_back(std::move(j));
       }
     }
   }
+  return jobs;
+}
+
+harness::TrajectoryDoc run_suite(const harness::BenchOptions& opts) {
+  harness::SweepOptions so;
+  so.jobs = opts.jobs;
+  const std::vector<harness::SweepJob> jobs = suite_jobs(opts);
+  const std::vector<harness::SweepResult> results = harness::run_sweep(jobs, so);
+
+  harness::TrajectoryDoc doc;
+  doc.bench = "ppopp97";
+  std::size_t failed = 0;
+  for (const harness::SweepResult& r : results) {
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "failed cell %s: %s\n", r.name.c_str(),
+                   r.error.c_str());
+      continue;
+    }
+    doc.entries.push_back(make_entry(r.name, r.run));
+  }
+  if (failed != 0)
+    throw std::runtime_error(std::to_string(failed) +
+                             " cell(s) failed; refusing to write a partial "
+                             "trajectory");
   return doc;
 }
 
@@ -110,6 +145,12 @@ int main(int argc, char** argv) {
         opts.scale = 1.0;
       } else if (a.rfind("--scale=", 0) == 0) {
         opts.scale = std::atof(a.c_str() + 8);
+      } else if (a.rfind("--jobs=", 0) == 0) {
+        char* end = nullptr;
+        const unsigned long n = std::strtoul(a.c_str() + 7, &end, 10);
+        if (end == a.c_str() + 7 || *end != '\0')
+          throw std::invalid_argument("--jobs needs a non-negative integer");
+        opts.jobs = static_cast<unsigned>(n);
       } else if (a.rfind("--procs=", 0) == 0) {
         std::vector<unsigned> procs;
         std::string list = a.substr(8);

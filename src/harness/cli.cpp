@@ -73,6 +73,7 @@ BenchOptions parse_bench_args(int argc, char** argv) {
   if (const char* env = std::getenv("REPRO_SCALE")) o.scale = std::atof(env);
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
+    std::string v;
     if (a == "--paper") {
       o.scale = 1.0;
     } else if (a.rfind("--scale=", 0) == 0) {
@@ -81,6 +82,12 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       o.procs = parse_list(a.substr(8));
     } else if (a == "--csv") {
       o.csv = true;
+    } else if (take_value("--jobs", argc, argv, i, v)) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0')
+        throw std::invalid_argument("--jobs needs a non-negative integer");
+      o.jobs = static_cast<unsigned>(n);
     } else if (parse_obs_arg(o.obs, argc, argv, i)) {
       // consumed (possibly including a separate value argument)
     } else if (a == "--help" || a == "-h") {

@@ -7,6 +7,11 @@
 //   --scale=X     explicit scale factor (0 < X <= 1)
 //   --procs=a,b   override the machine-size sweep
 //   --csv         emit CSV instead of the aligned table
+//   --jobs=N      run the sweep's independent cells on N worker threads
+//                 (0 = one per hardware thread; default 1 = sequential).
+//                 Output is byte-identical for every N. Observability
+//                 flags stream per-run output and therefore force
+//                 sequential execution (a note is printed).
 // Observability (everything off by default; the default output is unchanged):
 //   --json FILE           write machine-readable metrics (counters, interval
 //                         samples, hot-block table) for every run
@@ -48,6 +53,8 @@ struct BenchOptions {
   double scale = 0.05;
   bool csv = false;
   std::vector<unsigned> procs{1, 2, 4, 8, 16, 32};
+  /// Sweep worker threads (--jobs): 1 = sequential, 0 = hardware threads.
+  unsigned jobs = 1;
   ObsOptions obs;
 
   /// Apply the scale to one of the paper's iteration counts (>= 32).

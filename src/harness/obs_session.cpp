@@ -88,6 +88,11 @@ void write_run_json(stats::JsonWriter& w, const std::string& label,
                     const RunResult& r) {
   w.begin_object();
   w.key("label").value(label);
+  write_run_fields(w, r);
+  w.end_object();
+}
+
+void write_run_fields(stats::JsonWriter& w, const RunResult& r) {
   w.key("cycles").value(r.cycles);
   w.key("avg_latency").value(r.avg_latency);
   w.key("counters").raw(stats::to_json(r.counters));
@@ -169,8 +174,6 @@ void write_run_json(stats::JsonWriter& w, const std::string& label,
     w.key("wb_pushes").value(r.profile.wb_pushes);
     w.end_object();
   }
-
-  w.end_object();
 }
 
 } // namespace ccsim::harness

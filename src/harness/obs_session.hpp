@@ -62,4 +62,11 @@ private:
 void write_run_json(stats::JsonWriter& w, const std::string& label,
                     const RunResult& r);
 
+/// The body of write_run_json without the label: emits the run's keys
+/// (cycles, avg_latency, counters, latency?, samples?, hot_blocks?,
+/// profile?) into the object currently open on `w`. Shared with
+/// tools/ccsweep so sweep cells and --json runs carry one schema
+/// (documented in docs/schema.md).
+void write_run_fields(stats::JsonWriter& w, const RunResult& r);
+
 } // namespace ccsim::harness

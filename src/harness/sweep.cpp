@@ -1,0 +1,89 @@
+#include "harness/sweep.hpp"
+
+#include <atomic>
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace ccsim::harness {
+
+std::string_view to_string(ConstructFamily f) noexcept {
+  switch (f) {
+    case ConstructFamily::Lock: return "lock";
+    case ConstructFamily::Barrier: return "barrier";
+    case ConstructFamily::Reduction: return "reduction";
+  }
+  return "?";
+}
+
+SweepResult run_sweep_job(const SweepJob& job) {
+  SweepResult r;
+  r.name = job.name;
+  try {
+    switch (job.family) {
+      case ConstructFamily::Lock:
+        r.run = run_lock_experiment(job.machine, job.lock, job.lock_params);
+        break;
+      case ConstructFamily::Barrier:
+        r.run = run_barrier_experiment(job.machine, job.barrier,
+                                       job.barrier_params);
+        break;
+      case ConstructFamily::Reduction:
+        r.run = run_reduction_experiment(job.machine, job.reduction,
+                                         job.reduction_params);
+        break;
+    }
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  } catch (...) {
+    r.error = "unknown exception";
+  }
+  return r;
+}
+
+std::vector<SweepResult> run_sweep(const std::vector<SweepJob>& jobs,
+                                   const SweepOptions& opts) {
+  std::vector<SweepResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  unsigned workers = opts.jobs != 0 ? opts.jobs
+                                    : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(workers, static_cast<unsigned>(jobs.size()));
+
+  if (workers > 1) {
+    for (const SweepJob& j : jobs)
+      if (j.machine.obs.sink != nullptr)
+        throw std::invalid_argument(
+            "sweep: job \"" + j.name +
+            "\" carries a trace sink; sinks are not thread-safe, run with "
+            "jobs=1");
+  }
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      results[i] = run_sweep_job(jobs[i]);
+    return results;
+  }
+
+  // Work-stealing by shared index: each worker claims the next unclaimed
+  // job. results[i] slots are disjoint per job, and the jthread joins at
+  // scope exit publish every slot before we return.
+  std::atomic<std::size_t> next{0};
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&jobs, &results, &next] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= jobs.size()) return;
+          results[i] = run_sweep_job(jobs[i]);
+        }
+      });
+    }
+  }
+  return results;
+}
+
+} // namespace ccsim::harness

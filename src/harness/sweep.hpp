@@ -1,0 +1,78 @@
+// Parallel sweep engine: run independent simulation configs concurrently.
+//
+// Every bench walks a (protocol x construct x machine size) grid of
+// simulations that are deterministic, fully independent event-loop runs --
+// there is no shared mutable state between two Machines. The sweep engine
+// exploits that: a SweepJob names one cell of the grid, run_sweep() fans
+// the jobs out over a pool of std::jthread workers (each job constructs
+// its own Machine inside the worker), and results come back buffered
+// per-job in submission order, so output built from them is byte-identical
+// to a sequential run regardless of completion order or worker count.
+//
+// Failure containment: a job that throws is reported as a failed cell
+// carrying the exception text (SweepResult::ok == false) instead of taking
+// down the sweep -- the remaining cells still run and the caller decides
+// whether a failed cell is fatal.
+//
+// Thread-safety contract: the simulator keeps all state inside the
+// Machine, so concurrent jobs are safe as long as they do not share
+// attachments. The one sharable attachment is ObsConfig::sink (trace
+// sinks write to one stream); run_sweep() therefore rejects any job with
+// a sink when more than one worker would run. Per-machine observability
+// (profile, sampling, hot blocks) is safe and allowed.
+#pragma once
+
+#include "harness/workloads.hpp"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccsim::harness {
+
+/// Which experiment family a SweepJob runs (the paper's three synthetic
+/// programs, sections 4.1-4.3).
+enum class ConstructFamily : std::uint8_t { Lock, Barrier, Reduction };
+
+[[nodiscard]] std::string_view to_string(ConstructFamily f) noexcept;
+
+/// One cell of a sweep grid: everything needed to run one simulation.
+/// Only the member selected by `family` (and its params) is consulted.
+struct SweepJob {
+  std::string name;       ///< cell label, e.g. "fig08/tk/WI/p16"
+  MachineConfig machine;  ///< protocol, nprocs, cu_threshold, obs, ...
+  ConstructFamily family = ConstructFamily::Lock;
+  LockKind lock = LockKind::Ticket;
+  BarrierKind barrier = BarrierKind::Central;
+  ReductionKind reduction = ReductionKind::Sequential;
+  LockParams lock_params{};
+  BarrierParams barrier_params{};
+  ReductionParams reduction_params{};
+};
+
+/// The outcome of one cell: either a RunResult or an exception text.
+struct SweepResult {
+  std::string name;
+  bool ok = false;
+  std::string error;  ///< exception text when !ok
+  RunResult run;      ///< valid only when ok
+};
+
+struct SweepOptions {
+  /// Worker threads. 1 = in-caller sequential execution (still with
+  /// failure containment); 0 = one per hardware thread. The pool never
+  /// exceeds the number of jobs.
+  unsigned jobs = 1;
+};
+
+/// Run one job synchronously, containing any exception as a failed cell.
+[[nodiscard]] SweepResult run_sweep_job(const SweepJob& job);
+
+/// Run every job and return results in submission order (results[i] is
+/// jobs[i]). Throws std::invalid_argument before running anything if
+/// more than one worker would run and a job carries a trace sink (the
+/// only cross-job shared state; see the header comment).
+[[nodiscard]] std::vector<SweepResult> run_sweep(
+    const std::vector<SweepJob>& jobs, const SweepOptions& opts = {});
+
+} // namespace ccsim::harness

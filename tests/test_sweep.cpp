@@ -1,0 +1,187 @@
+// Sweep-engine tests: deterministic parallel execution (per-cell JSON
+// byte-identical between jobs=8 and jobs=1 across protocol x construct x
+// seed -- ISSUE acceptance criterion), submission-order results, failure
+// containment (a throwing job becomes a failed cell, the sweep survives),
+// and the shared-sink rejection contract.
+#include "harness/sweep.hpp"
+
+#include "harness/obs_session.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "stats/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace {
+
+using namespace ccsim;
+using harness::ConstructFamily;
+using harness::SweepJob;
+using harness::SweepOptions;
+using harness::SweepResult;
+
+harness::MachineConfig small_machine(proto::Protocol p, bool profile = false) {
+  harness::MachineConfig cfg;
+  cfg.protocol = p;
+  cfg.nprocs = 4;
+  cfg.obs.profile = profile;
+  return cfg;
+}
+
+/// The ISSUE's determinism grid: WI/PU/CU x lock/barrier/reduction x two
+/// workload seeds (barriers take no seed; they appear once per protocol,
+/// keeping the grid the full construct cross product).
+std::vector<SweepJob> determinism_grid(bool profile = false) {
+  std::vector<SweepJob> jobs;
+  for (proto::Protocol p :
+       {proto::Protocol::WI, proto::Protocol::PU, proto::Protocol::CU}) {
+    for (std::uint64_t seed : {0x5eedULL, 0x1234ULL}) {
+      SweepJob lock;
+      lock.name = "lock/" + std::string(proto::to_string(p)) + "/s" +
+                  std::to_string(seed);
+      lock.machine = small_machine(p, profile);
+      lock.family = ConstructFamily::Lock;
+      lock.lock = harness::LockKind::Mcs;
+      lock.lock_params.total_acquires = 200;
+      lock.lock_params.random_pause_max = 40;  // makes the seed matter
+      lock.lock_params.seed = seed;
+      jobs.push_back(std::move(lock));
+
+      SweepJob red;
+      red.name = "reduction/" + std::string(proto::to_string(p)) + "/s" +
+                 std::to_string(seed);
+      red.machine = small_machine(p, profile);
+      red.family = ConstructFamily::Reduction;
+      red.reduction = harness::ReductionKind::Parallel;
+      red.reduction_params.rounds = 50;
+      red.reduction_params.seed = seed;
+      jobs.push_back(std::move(red));
+    }
+    SweepJob bar;
+    bar.name = "barrier/" + std::string(proto::to_string(p));
+    bar.machine = small_machine(p, profile);
+    bar.family = ConstructFamily::Barrier;
+    bar.barrier = harness::BarrierKind::Dissemination;
+    bar.barrier_params.episodes = 50;
+    jobs.push_back(std::move(bar));
+  }
+  return jobs;
+}
+
+/// Serialize one cell the way ccsweep does: the shared run-object schema.
+std::string cell_json(const SweepResult& r) {
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  w.begin_object();
+  w.key("name").value(r.name);
+  w.key("ok").value(r.ok);
+  if (r.ok)
+    harness::write_run_fields(w, r.run);
+  else
+    w.key("error").value(r.error);
+  w.end_object();
+  return os.str();
+}
+
+TEST(Sweep, ParallelRunIsByteIdenticalToSequential) {
+  const auto jobs = determinism_grid();
+  SweepOptions seq;
+  seq.jobs = 1;
+  SweepOptions par;
+  par.jobs = 8;
+  const auto a = harness::run_sweep(jobs, seq);
+  const auto b = harness::run_sweep(jobs, par);
+  ASSERT_EQ(a.size(), jobs.size());
+  ASSERT_EQ(b.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(a[i].ok) << a[i].name << ": " << a[i].error;
+    ASSERT_TRUE(b[i].ok) << b[i].name << ": " << b[i].error;
+    EXPECT_EQ(cell_json(a[i]), cell_json(b[i])) << jobs[i].name;
+  }
+}
+
+TEST(Sweep, ProfiledParallelRunIsByteIdenticalToSequential) {
+  // Per-machine observability (the cycle-accounting profiler) is safe
+  // under parallel execution and must not perturb determinism.
+  const auto jobs = determinism_grid(/*profile=*/true);
+  SweepOptions par;
+  par.jobs = 8;
+  const auto a = harness::run_sweep(jobs, SweepOptions{});
+  const auto b = harness::run_sweep(jobs, par);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(a[i].ok && b[i].ok) << jobs[i].name;
+    ASSERT_TRUE(a[i].run.profile.enabled());
+    EXPECT_EQ(cell_json(a[i]), cell_json(b[i])) << jobs[i].name;
+  }
+}
+
+TEST(Sweep, ResultsComeBackInSubmissionOrder) {
+  const auto jobs = determinism_grid();
+  SweepOptions par;
+  par.jobs = 8;
+  const auto results = harness::run_sweep(jobs, par);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    EXPECT_EQ(results[i].name, jobs[i].name);
+}
+
+TEST(Sweep, ThrowingJobBecomesFailedCellWithoutAbortingTheSweep) {
+  auto jobs = determinism_grid();
+  // Force one mid-sweep cell over its deadlock backstop: Machine::run
+  // throws, and the sweep must contain it.
+  const std::size_t victim = jobs.size() / 2;
+  jobs[victim].machine.max_cycles = 10;
+  SweepOptions par;
+  par.jobs = 8;
+  const auto results = harness::run_sweep(jobs, par);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == victim) {
+      EXPECT_FALSE(results[i].ok);
+      EXPECT_FALSE(results[i].error.empty());
+    } else {
+      EXPECT_TRUE(results[i].ok) << results[i].name << ": " << results[i].error;
+    }
+  }
+}
+
+TEST(Sweep, FailedCellsAreContainedSequentiallyToo) {
+  auto jobs = determinism_grid();
+  jobs[0].machine.max_cycles = 10;
+  const auto results = harness::run_sweep(jobs, SweepOptions{});
+  EXPECT_FALSE(results[0].ok);
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_TRUE(results[i].ok) << results[i].name;
+}
+
+TEST(Sweep, SharedTraceSinkIsRejectedWhenParallel) {
+  std::ostringstream os;
+  obs::JsonlSink sink(os);
+  auto jobs = determinism_grid();
+  jobs[1].machine.obs.sink = &sink;
+  SweepOptions par;
+  par.jobs = 4;
+  EXPECT_THROW((void)harness::run_sweep(jobs, par), std::invalid_argument);
+  // Sequential execution with a sink stays allowed.
+  const auto results = harness::run_sweep(jobs, SweepOptions{});
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+}
+
+TEST(Sweep, ZeroJobsMeansHardwareConcurrency) {
+  const auto jobs = determinism_grid();
+  SweepOptions all;
+  all.jobs = 0;
+  const auto a = harness::run_sweep(jobs, SweepOptions{});
+  const auto b = harness::run_sweep(jobs, all);
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    EXPECT_EQ(cell_json(a[i]), cell_json(b[i]));
+}
+
+TEST(Sweep, EmptyJobListIsFine) {
+  const auto results = harness::run_sweep({}, SweepOptions{});
+  EXPECT_TRUE(results.empty());
+}
+
+} // namespace
