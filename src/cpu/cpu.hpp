@@ -42,6 +42,12 @@ public:
   void set_ledger(obs::CycleLedger* l) noexcept { ledger_ = l; }
   [[nodiscard]] obs::CycleLedger* ledger() const noexcept { return ledger_; }
 
+  /// Attach a shared forward-progress counter (the machine watchdog's).
+  /// Every completed memory operation bumps it; a processor that only
+  /// thinks between operations does not, so the watchdog stall bound must
+  /// exceed the longest think in the workload.
+  void set_progress(std::uint64_t* p) noexcept { progress_ = p; }
+
   /// Uncontended completion costs (paper section 3.1): at or below these,
   /// a span is not a stall. Loads/stores: the 1-cycle hit / buffer-accept;
   /// atomics: hit + read-modify-write when the line is held locally.
@@ -61,6 +67,7 @@ public:
       cpu.cc_.cpu_load(addr, size, [this, h](std::uint64_t v) {
         if (auto* l = cpu.ledger_) l->end_load(cpu.id_, kHitLatency);
         result = v;
+        cpu.bump_progress();
         h.resume();
       });
     }
@@ -77,6 +84,7 @@ public:
       if (auto* l = cpu.ledger_) l->begin(cpu.id_, obs::CycleCat::WbFull);
       cpu.cc_.cpu_store(addr, size, value, [this, h] {
         if (auto* l = cpu.ledger_) l->end_fast(cpu.id_, kHitLatency);
+        cpu.bump_progress();
         h.resume();
       });
     }
@@ -95,6 +103,7 @@ public:
       cpu.cc_.cpu_atomic(op, addr, v1, v2, [this, h](std::uint64_t v) {
         if (auto* l = cpu.ledger_) l->end_fast(cpu.id_, kLocalAtomicLatency);
         result = v;
+        cpu.bump_progress();
         h.resume();
       });
     }
@@ -108,6 +117,7 @@ public:
       if (auto* l = cpu.ledger_) l->begin(cpu.id_, obs::CycleCat::ReleaseAck);
       cpu.cc_.cpu_fence([this, h] {
         if (auto* l = cpu.ledger_) l->end_fast(cpu.id_, 0);
+        cpu.bump_progress();
         h.resume();
       });
     }
@@ -122,6 +132,7 @@ public:
       if (auto* l = cpu.ledger_) l->begin(cpu.id_, obs::CycleCat::ReleaseAck);
       cpu.cc_.cpu_flush(addr, [this, h] {
         if (auto* l = cpu.ledger_) l->end_fast(cpu.id_, kHitLatency);
+        cpu.bump_progress();
         h.resume();
       });
     }
@@ -149,7 +160,11 @@ public:
       cpu.cc_.cpu_load(addr, size, [this](std::uint64_t v) {
         if (auto* l = cpu.ledger_) l->end_load(cpu.id_, kHitLatency);
         if (pred(v)) {
+          // Progress counts only the satisfied poll: an unsatisfied spin --
+          // even one re-polling on the uncached-retry path -- must look
+          // stalled to the watchdog, or lost wakeups go undetected.
           result = v;
+          cpu.bump_progress();
           h_.resume();
           return;
         }
@@ -199,10 +214,15 @@ public:
   sim::Task store_release(Addr a, std::uint64_t v, std::size_t size = mem::kWordSize);
 
 private:
+  void bump_progress() noexcept {
+    if (progress_) ++*progress_;
+  }
+
   NodeId id_;
   sim::EventQueue& q_;
   proto::CacheController& cc_;
   obs::CycleLedger* ledger_ = nullptr;
+  std::uint64_t* progress_ = nullptr;
 };
 
 } // namespace ccsim::cpu

@@ -9,8 +9,9 @@ namespace ccsim::harness {
 
 Machine::Machine(MachineConfig cfg)
     : cfg_(cfg),
-      trace_(cfg.trace || cfg.obs.sink ? std::make_unique<sim::TraceLog>()
-                                       : nullptr),
+      trace_(cfg.trace || cfg.obs.sink || cfg.obs.check_invariants
+                 ? std::make_unique<sim::TraceLog>()
+                 : nullptr),
       alloc_(cfg.nprocs),
       misses_(cfg.nprocs, counters_),
       updates_(cfg.nprocs, counters_),
@@ -19,6 +20,8 @@ Machine::Machine(MachineConfig cfg)
       ledger_(cfg.obs.profile
                   ? std::make_unique<obs::CycleLedger>(cfg.nprocs, q_)
                   : nullptr),
+      checker_(cfg.obs.check_invariants ? std::make_unique<obs::InvariantChecker>()
+                                        : nullptr),
       ctx_{q_,
            net_,
            alloc_,
@@ -30,8 +33,12 @@ Machine::Machine(MachineConfig cfg)
            trace_.get(),
            hot_.get(),
            ledger_.get(),
+           checker_.get(),
            cfg.consistency,
            cfg.hybrid_default} {
+  if (checker_ && cfg_.protocol == proto::Protocol::Hybrid)
+    throw std::invalid_argument(
+        "check_invariants is not supported on Protocol::Hybrid");
   if (trace_) {
     if (cfg_.obs.sink) trace_->add_sink(cfg_.obs.sink);
     net_.set_trace(trace_.get());
@@ -50,6 +57,15 @@ Machine::Machine(MachineConfig cfg)
     net_.attach(i, *nodes_.back());
     procs_.push_back(std::make_unique<cpu::Processor>(i, q_, nodes_[i]->cache_ctrl()));
     procs_.back()->cpu().set_ledger(ledger_.get());
+    procs_.back()->cpu().set_progress(&progress_);
+  }
+  if (checker_) {
+    checker_->set_alloc(&alloc_);
+    for (NodeId i = 0; i < cfg_.nprocs; ++i)
+      checker_->attach_node(&nodes_[i]->cache_ctrl().cache(),
+                            &nodes_[i]->home_ctrl().directory(),
+                            &nodes_[i]->home_ctrl().memory());
+    trace_->add_sink(checker_.get());
   }
 }
 
@@ -68,13 +84,30 @@ Cycle Machine::run(const std::vector<Program>& programs) {
     sampler =
         std::make_unique<obs::IntervalSampler>(cfg_.obs.sample_interval, counters_);
 
+  const bool watch = cfg_.watchdog_stall_cycles > 0;
+  std::uint64_t seen_progress = progress_;
+  Cycle progress_cycle = q_.now();
   bool drained;
-  if (sampler) {
+  if (sampler || watch) {
     // Drive the queue manually so interval boundaries are cut at the right
-    // sim times. A self-rescheduling sampler event would keep the queue
-    // non-empty forever and defeat drain-based deadlock detection.
+    // sim times (a self-rescheduling sampler event would keep the queue
+    // non-empty forever and defeat drain-based deadlock detection), and so
+    // the watchdog can compare the next event time against the last cycle
+    // at which some processor completed a memory operation.
     while (!q_.empty() && q_.next_time() <= cfg_.max_cycles) {
-      sampler->advance_to(q_.next_time());
+      if (watch) {
+        if (progress_ != seen_progress) {
+          seen_progress = progress_;
+          progress_cycle = q_.now();
+        } else if (remaining != 0 &&
+                   q_.next_time() > progress_cycle + cfg_.watchdog_stall_cycles) {
+          throw DeadlockError(diagnose("watchdog: no memory operation completed for " +
+                                           std::to_string(cfg_.watchdog_stall_cycles) +
+                                           " cycles (livelock?)",
+                                       remaining, programs.size()));
+        }
+      }
+      if (sampler) sampler->advance_to(q_.next_time());
       q_.step();
     }
     drained = q_.empty();
@@ -83,27 +116,12 @@ Cycle Machine::run(const std::vector<Program>& programs) {
   }
   for (auto& p : procs_) p->rethrow_if_failed();
   if (remaining != 0) {
-    std::string msg =
-        drained ? "simulation deadlock: event queue drained with programs waiting"
-                : "simulation exceeded max_cycles";
-    msg += " (";
-    msg += std::to_string(remaining);
-    msg += " of ";
-    msg += std::to_string(programs.size());
-    msg += " programs unfinished; stuck:";
-    for (std::size_t i = 0; i < programs.size(); ++i) {
-      if (!procs_[i]->done()) {
-        msg += ' ';
-        msg += std::to_string(i);
-      }
-    }
-    msg += ')';
-    if (trace_) {
-      msg += "\nlast trace events:\n";
-      msg += trace_->tail(40);
-    }
-    throw std::runtime_error(msg);
+    throw DeadlockError(diagnose(
+        drained ? "event queue drained with programs waiting (lost wakeup?)"
+                : "simulated time exceeded max_cycles",
+        remaining, programs.size()));
   }
+  if (checker_) checker_->final_audit();
   updates_.finalize(q_.now());
   if (ledger_) ledger_->finalize(q_.now());
   if (sampler) {
@@ -113,6 +131,47 @@ Cycle Machine::run(const std::vector<Program>& programs) {
     samples_ = sampler->series();
   }
   return q_.now();
+}
+
+std::string Machine::diagnose(const std::string& what, unsigned remaining,
+                              std::size_t nprograms) const {
+  std::string msg = "simulation stalled: " + what;
+  msg += " (cycle " + std::to_string(q_.now()) + "; " + std::to_string(remaining) +
+         " of " + std::to_string(nprograms) + " programs unfinished)";
+  msg += "\nstuck processors:";
+  for (std::size_t i = 0; i < nprograms; ++i) {
+    if (!procs_[i]->done()) {
+      msg += ' ';
+      msg += std::to_string(i);
+    }
+  }
+  // Occupancy per node: in-flight messages addressed to it plus its cache
+  // controller's queues. Quiet nodes are elided.
+  msg += "\nnode occupancy (in-flight msgs, wb entries, mshrs, pending acks, "
+         "outstanding ops):";
+  bool any = false;
+  for (NodeId i = 0; i < cfg_.nprocs; ++i) {
+    const std::uint64_t inflight = net_.in_flight(i);
+    const proto::CacheDebug d = nodes_[i]->cache_ctrl().debug_state();
+    if (inflight == 0 && d.wb_entries == 0 && d.mshr == 0 && d.pending_acks == 0 &&
+        d.outstanding == 0)
+      continue;
+    any = true;
+    msg += "\n  node " + std::to_string(i) + ": inflight=" + std::to_string(inflight) +
+           " wb=" + std::to_string(d.wb_entries) + " mshr=" + std::to_string(d.mshr) +
+           " acks=" + std::to_string(d.pending_acks) +
+           " outstanding=" + std::to_string(d.outstanding);
+  }
+  if (!any) msg += " (all quiet)";
+  if (ledger_) {
+    const obs::ProfileSnapshot s = ledger_->snapshot();
+    msg += "\ncycle ledger: wall=" + std::to_string(s.wall);
+  }
+  if (trace_) {
+    msg += "\nlast trace events:\n";
+    msg += trace_->tail(40);
+  }
+  return msg;
 }
 
 std::vector<obs::HotBlockTable::Row> Machine::hot_blocks() const {
@@ -140,7 +199,14 @@ void Machine::poke(Addr addr, std::uint64_t value, std::size_t size) {
   assert(mem::is_shared(addr));
   const mem::BlockAddr b = mem::block_of(addr);
   const NodeId home = alloc_.home_of(b);
-  nodes_[home]->home_ctrl().memory_for(b).write_word(addr, size, value);
+  mem::MemoryModule& m = nodes_[home]->home_ctrl().memory_for(b);
+  m.write_word(addr, size, value);
+  if (checker_) {
+    // Record the full resulting word so sub-word pokes stay consistent
+    // with the checker's whole-word shadow.
+    const Addr base = addr - addr % mem::kWordSize;
+    checker_->on_poke(base, m.read_word(base, mem::kWordSize));
+  }
 }
 
 void Machine::bind_protocol(Addr addr, std::size_t size, proto::Protocol p) {

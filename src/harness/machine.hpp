@@ -10,6 +10,7 @@
 #include "net/network.hpp"
 #include "obs/cycle_accounting.hpp"
 #include "obs/hot_blocks.hpp"
+#include "obs/invariants.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "proto/hybrid.hpp"
@@ -18,11 +19,24 @@
 #include "sim/event_queue.hpp"
 #include "stats/counters.hpp"
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace ccsim::harness {
+
+/// The run stopped making forward progress: the event queue drained with
+/// programs still waiting (lost wakeup), no processor completed a memory
+/// operation for watchdog_stall_cycles (livelock), or simulated time passed
+/// max_cycles. what() carries the full diagnostic dump: stuck processors,
+/// per-node in-flight messages and controller occupancy, and the trace tail.
+class DeadlockError : public std::runtime_error {
+public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Observability attachments. Everything here is off by default: with the
 /// defaults a Machine behaves (and its runs cost) exactly as before.
@@ -40,6 +54,14 @@ struct ObsConfig {
   /// of every processor to a cost category and collect per-(construct,
   /// phase) latency histograms. See Machine::profile().
   bool profile = false;
+  /// Run the coherence-invariant checker (obs/invariants.hpp): assert the
+  /// single-writable-copy and value-history invariants on the fly and audit
+  /// directories, caches and data against shadow memory at the end of the
+  /// run. Pure observer -- it schedules no events, so simulated cycle
+  /// counts are identical with it on or off. Not supported on
+  /// Protocol::Hybrid (three engines share each node; the per-node
+  /// cache/directory pairing the checker audits does not exist).
+  bool check_invariants = false;
 };
 
 struct MachineConfig {
@@ -54,6 +76,11 @@ struct MachineConfig {
   proto::Protocol hybrid_default = proto::Protocol::WI;
   /// Abort the run if simulated time exceeds this (deadlock backstop).
   Cycle max_cycles = 4'000'000'000ULL;
+  /// Watchdog: throw DeadlockError if no processor completes a memory
+  /// operation for this many simulated cycles (0 = off). think() cycles do
+  /// not count as progress, so the bound must exceed the longest think in
+  /// the workload plus the worst contended-operation latency.
+  Cycle watchdog_stall_cycles = 0;
   /// Attach a structured trace (ring of recent protocol events, appended
   /// to deadlock reports; see Machine::trace() to echo it live).
   bool trace = false;
@@ -114,7 +141,15 @@ public:
   /// enabled() == false unless obs.profile). Valid after run().
   [[nodiscard]] obs::ProfileSnapshot profile() const;
 
+  /// Invariant checks performed (0 unless obs.check_invariants).
+  [[nodiscard]] std::uint64_t invariant_checks() const noexcept {
+    return checker_ ? checker_->checks() : 0;
+  }
+
 private:
+  [[nodiscard]] std::string diagnose(const std::string& what, unsigned remaining,
+                                     std::size_t nprograms) const;
+
   MachineConfig cfg_;
   sim::EventQueue q_;
   std::unique_ptr<sim::TraceLog> trace_;
@@ -125,10 +160,12 @@ private:
   net::Network net_;
   std::unique_ptr<obs::HotBlockTable> hot_;
   std::unique_ptr<obs::CycleLedger> ledger_;  ///< must precede ctx_
+  std::unique_ptr<obs::InvariantChecker> checker_;  ///< must precede ctx_
   proto::ProtocolContext ctx_;
   obs::IntervalSeries samples_;
   std::vector<std::unique_ptr<proto::Node>> nodes_;
   std::vector<std::unique_ptr<cpu::Processor>> procs_;
+  std::uint64_t progress_ = 0;  ///< completed memory ops (watchdog)
   bool ran_ = false;
 };
 

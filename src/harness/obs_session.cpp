@@ -95,6 +95,8 @@ void write_run_json(stats::JsonWriter& w, const std::string& label,
 void write_run_fields(stats::JsonWriter& w, const RunResult& r) {
   w.key("cycles").value(r.cycles);
   w.key("avg_latency").value(r.avg_latency);
+  if (r.invariant_checks != 0)
+    w.key("invariant_checks").value(r.invariant_checks);
   w.key("counters").raw(stats::to_json(r.counters));
   if (r.latency.count() != 0) {
     w.key("latency");

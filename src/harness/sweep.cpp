@@ -16,27 +16,49 @@ std::string_view to_string(ConstructFamily f) noexcept {
   return "?";
 }
 
+std::string_view to_string(SweepResult::FailKind k) noexcept {
+  switch (k) {
+    case SweepResult::FailKind::None: return "none";
+    case SweepResult::FailKind::Deadlock: return "deadlock";
+    case SweepResult::FailKind::Invariant: return "invariant";
+    case SweepResult::FailKind::Other: return "other";
+  }
+  return "?";
+}
+
 SweepResult run_sweep_job(const SweepJob& job) {
   SweepResult r;
   r.name = job.name;
   try {
-    switch (job.family) {
-      case ConstructFamily::Lock:
-        r.run = run_lock_experiment(job.machine, job.lock, job.lock_params);
-        break;
-      case ConstructFamily::Barrier:
-        r.run = run_barrier_experiment(job.machine, job.barrier,
-                                       job.barrier_params);
-        break;
-      case ConstructFamily::Reduction:
-        r.run = run_reduction_experiment(job.machine, job.reduction,
-                                         job.reduction_params);
-        break;
+    if (job.runner) {
+      r.run = job.runner(job.machine);
+    } else {
+      switch (job.family) {
+        case ConstructFamily::Lock:
+          r.run = run_lock_experiment(job.machine, job.lock, job.lock_params);
+          break;
+        case ConstructFamily::Barrier:
+          r.run = run_barrier_experiment(job.machine, job.barrier,
+                                         job.barrier_params);
+          break;
+        case ConstructFamily::Reduction:
+          r.run = run_reduction_experiment(job.machine, job.reduction,
+                                           job.reduction_params);
+          break;
+      }
     }
     r.ok = true;
+  } catch (const DeadlockError& e) {
+    r.fail = SweepResult::FailKind::Deadlock;
+    r.error = e.what();
+  } catch (const obs::InvariantViolation& e) {
+    r.fail = SweepResult::FailKind::Invariant;
+    r.error = e.what();
   } catch (const std::exception& e) {
+    r.fail = SweepResult::FailKind::Other;
     r.error = e.what();
   } catch (...) {
+    r.fail = SweepResult::FailKind::Other;
     r.error = "unknown exception";
   }
   return r;

@@ -24,6 +24,7 @@
 
 #include "harness/workloads.hpp"
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,15 +49,26 @@ struct SweepJob {
   LockParams lock_params{};
   BarrierParams barrier_params{};
   ReductionParams reduction_params{};
+  /// Custom experiment (tools/ccstress): when set, run_sweep_job invokes
+  /// this instead of the family dispatch above. Must be safe to call from
+  /// a worker thread (i.e. keep all state inside the Machine it builds).
+  std::function<RunResult(const MachineConfig&)> runner;
 };
 
 /// The outcome of one cell: either a RunResult or an exception text.
 struct SweepResult {
   std::string name;
   bool ok = false;
+  /// What kind of failure a !ok cell is: a watchdog/deadlock trip, a
+  /// coherence-invariant violation, or any other exception. Callers (the
+  /// ccstress/ccsweep tools) map these to distinct exit codes.
+  enum class FailKind : std::uint8_t { None, Deadlock, Invariant, Other };
+  FailKind fail = FailKind::None;
   std::string error;  ///< exception text when !ok
   RunResult run;      ///< valid only when ok
 };
+
+[[nodiscard]] std::string_view to_string(SweepResult::FailKind k) noexcept;
 
 struct SweepOptions {
   /// Worker threads. 1 = in-caller sequential execution (still with

@@ -65,6 +65,7 @@ void capture_obs(RunResult& r, const Machine& m) {
   r.samples = m.samples();
   r.hot = m.hot_blocks();
   r.profile = m.profile();
+  r.invariant_checks = m.invariant_checks();
 }
 } // namespace
 

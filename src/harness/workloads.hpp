@@ -34,6 +34,8 @@ struct RunResult {
   std::vector<obs::HotBlockTable::Row> hot;
   /// Cycle accounting (enabled() == false unless obs.profile).
   obs::ProfileSnapshot profile;
+  /// Coherence-invariant checks performed (0 unless obs.check_invariants).
+  std::uint64_t invariant_checks = 0;
 };
 
 /// Lock experiment (section 4.1): each processor acquires, holds for

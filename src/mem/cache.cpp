@@ -1,5 +1,7 @@
 #include "mem/cache.hpp"
 
+#include "sim/check.hpp"
+
 #include <bit>
 #include <cassert>
 #include <cstring>
@@ -13,18 +15,34 @@ DataCache::DataCache(std::size_t size_bytes) {
 }
 
 std::uint64_t DataCache::read(Addr addr, std::size_t size) const {
-  assert(within_word(addr, size));
+  CCSIM_CHECK(within_word(addr, size),
+              "addr=%#llx size=%zu: cache read crosses a word boundary",
+              static_cast<unsigned long long>(addr), size);
   const CacheLine& l = set_for(block_of(addr));
-  assert(l.valid() && l.block == block_of(addr));
+  CCSIM_CHECK(l.valid() && l.block == block_of(addr),
+              "addr=%#llx block=%#llx: cache read of a non-resident line "
+              "(set holds %#llx, state %u)",
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(block_of(addr)),
+              static_cast<unsigned long long>(l.block),
+              static_cast<unsigned>(l.state));
   std::uint64_t v = 0;
   std::memcpy(&v, l.data.data() + offset_of(addr), size);
   return v;
 }
 
 void DataCache::write(Addr addr, std::size_t size, std::uint64_t value) {
-  assert(within_word(addr, size));
+  CCSIM_CHECK(within_word(addr, size),
+              "addr=%#llx size=%zu: cache write crosses a word boundary",
+              static_cast<unsigned long long>(addr), size);
   CacheLine& l = set_for(block_of(addr));
-  assert(l.valid() && l.block == block_of(addr));
+  CCSIM_CHECK(l.valid() && l.block == block_of(addr),
+              "addr=%#llx block=%#llx: cache write to a non-resident line "
+              "(set holds %#llx, state %u)",
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(block_of(addr)),
+              static_cast<unsigned long long>(l.block),
+              static_cast<unsigned>(l.state));
   std::memcpy(l.data.data() + offset_of(addr), &value, size);
 }
 

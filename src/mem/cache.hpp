@@ -59,6 +59,15 @@ public:
     CacheLine& l = set_for(b);
     return (l.valid() && l.block == b) ? &l : nullptr;
   }
+  [[nodiscard]] const CacheLine* find(BlockAddr b) const noexcept {
+    const CacheLine& l = set_for(b);
+    return (l.valid() && l.block == b) ? &l : nullptr;
+  }
+
+  /// Direct set access for auditors (i < num_sets()).
+  [[nodiscard]] const CacheLine& line_at(std::size_t i) const noexcept {
+    return lines_[i];
+  }
 
   /// Read up to 8 bytes from a resident line. The caller must know the line
   /// is present (checked in debug builds).

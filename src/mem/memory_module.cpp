@@ -1,5 +1,7 @@
 #include "mem/memory_module.hpp"
 
+#include "sim/check.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -24,7 +26,9 @@ Cycle MemoryModule::book(Cycle now, AccessKind kind) {
 }
 
 std::uint64_t MemoryModule::read_word(Addr addr, std::size_t size) const {
-  assert(within_word(addr, size));
+  CCSIM_CHECK(within_word(addr, size),
+              "addr=%#llx size=%zu: memory read crosses a word boundary",
+              static_cast<unsigned long long>(addr), size);
   auto& blk = store_[block_of(addr)];  // zero-init on first touch
   std::uint64_t v = 0;
   std::memcpy(&v, blk.data() + offset_of(addr), size);
@@ -32,7 +36,9 @@ std::uint64_t MemoryModule::read_word(Addr addr, std::size_t size) const {
 }
 
 void MemoryModule::write_word(Addr addr, std::size_t size, std::uint64_t value) {
-  assert(within_word(addr, size));
+  CCSIM_CHECK(within_word(addr, size),
+              "addr=%#llx size=%zu: memory write crosses a word boundary",
+              static_cast<unsigned long long>(addr), size);
   auto& blk = store_[block_of(addr)];
   std::memcpy(blk.data() + offset_of(addr), &value, size);
 }

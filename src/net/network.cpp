@@ -42,7 +42,10 @@ Network::Network(sim::EventQueue& q, MeshTopology topo, Params params,
       link_free_(params.link_contention
                      ? static_cast<std::size_t>(topo.count()) * topo.count()
                      : 0,
-                 0) {}
+                 0),
+      local_last_(topo.count(), 0),
+      inflight_(topo.count(), 0),
+      jitter_rng_(params.jitter_seed) {}
 
 void Network::attach(NodeId n, MessageSink& sink) {
   assert(n < sinks_.size());
@@ -55,21 +58,32 @@ void Network::send(const Message& msg) {
   assert(sink && "destination node has no sink attached");
 
   if (counters_) ++counters_->by_type[static_cast<std::size_t>(msg.type)];
+  ++inflight_[msg.dst];
   if (msg.src == msg.dst) {
     if (counters_) ++counters_->local;
+    Cycle arrive = q_.now() + params_.local_latency;
+    if (params_.jitter_max != 0) {
+      // Clamp against the previous local delivery: equal timestamps keep
+      // scheduling order (seq tie-break), so same-node FIFO is preserved.
+      arrive = std::max(arrive + jitter(), local_last_[msg.dst]);
+      local_last_[msg.dst] = arrive;
+    }
     if (trace_) {
       const std::uint64_t flow = trace_->next_flow_id();
-      const Cycle arrive = q_.now() + params_.local_latency;
       trace_->event(net_event(obs::EventKind::MsgSend, q_.now(), 0, msg.src,
                               msg.dst, msg, flow));
       obs::TraceLog* trace = trace_;
-      q_.schedule(params_.local_latency, [sink, msg, trace, arrive, flow] {
+      q_.schedule_at(arrive, [this, sink, msg, trace, arrive, flow] {
+        --inflight_[msg.dst];
         trace->event(net_event(obs::EventKind::MsgRecv, arrive, 0, msg.dst,
                                msg.src, msg, flow));
         sink->deliver(msg);
       });
     } else {
-      q_.schedule(params_.local_latency, [sink, msg] { sink->deliver(msg); });
+      q_.schedule_at(arrive, [this, sink, msg] {
+        --inflight_[msg.dst];
+        sink->deliver(msg);
+      });
     }
     return;
   }
@@ -80,7 +94,9 @@ void Network::send(const Message& msg) {
   const unsigned hops = topo_.hops(msg.src, msg.dst);
 
   // Source port: the tail flit leaves `flits` cycles after injection starts.
-  const Cycle start = std::max(q_.now(), inject_free_[msg.src]);
+  // Jitter delays the injection claim; because the claim still advances
+  // inject_free_ monotonically, per-(src, dst) FIFO order is unaffected.
+  const Cycle start = std::max(q_.now() + jitter(), inject_free_[msg.src]);
   inject_free_[msg.src] = start + flits;
 
   // Flight: each switch delays the header by switch_delay cycles; with
@@ -119,13 +135,17 @@ void Network::send(const Message& msg) {
     trace_->event(net_event(obs::EventKind::MsgSend, start, flits, msg.src,
                             msg.dst, msg, flow));
     obs::TraceLog* trace = trace_;
-    q_.schedule_at(delivered, [sink, msg, trace, eject_start, flits, flow] {
+    q_.schedule_at(delivered, [this, sink, msg, trace, eject_start, flits, flow] {
+      --inflight_[msg.dst];
       trace->event(net_event(obs::EventKind::MsgRecv, eject_start, flits,
                              msg.dst, msg.src, msg, flow));
       sink->deliver(msg);
     });
   } else {
-    q_.schedule_at(delivered, [sink, msg] { sink->deliver(msg); });
+    q_.schedule_at(delivered, [this, sink, msg] {
+      --inflight_[msg.dst];
+      sink->deliver(msg);
+    });
   }
 }
 

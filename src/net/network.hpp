@@ -12,8 +12,10 @@
 #include "net/message.hpp"
 #include "net/topology.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
 #include "stats/counters.hpp"
 
+#include <cstdint>
 #include <vector>
 
 namespace ccsim::obs {
@@ -41,6 +43,16 @@ public:
     /// turning this on shows how much its conclusions depend on that
     /// simplification (see bench/abl_network_contention).
     bool link_contention = false;
+    /// Deterministic delivery perturbation (tools/ccstress): every message
+    /// is delayed by a pseudorandom extra 0..jitter_max cycles before it
+    /// claims its injection port. Jitter shifts timing only -- per-(source,
+    /// destination) FIFO order is preserved, because port claims stay
+    /// monotonic in send order (local messages clamp against the previous
+    /// local delivery instead) -- and the draw sequence is a pure function
+    /// of the deterministic send order, so equal seeds give byte-identical
+    /// runs. 0 disables jitter and leaves the send path untouched.
+    Cycle jitter_max = 0;
+    std::uint64_t jitter_seed = 0;
   };
 
   Network(sim::EventQueue& q, MeshTopology topo, Params params,
@@ -63,7 +75,14 @@ public:
   /// Earliest cycle at which node n's injection port is free (testing aid).
   [[nodiscard]] Cycle inject_free_at(NodeId n) const { return inject_free_[n]; }
 
+  /// Messages sent to node `n` and not yet delivered (watchdog diagnostics).
+  [[nodiscard]] std::uint64_t in_flight(NodeId n) const { return inflight_[n]; }
+
 private:
+  [[nodiscard]] Cycle jitter() {
+    return params_.jitter_max == 0 ? 0 : jitter_rng_.below(params_.jitter_max + 1);
+  }
+
   sim::EventQueue& q_;
   MeshTopology topo_;
   Params params_;
@@ -75,6 +94,11 @@ private:
   /// link_contention: busy-until per directed link, indexed
   /// [from * count + to-of-adjacent-hop].
   std::vector<Cycle> link_free_;
+  /// Jittered local (src == dst) messages clamp to the previous local
+  /// delivery at the node so same-pair FIFO survives the perturbation.
+  std::vector<Cycle> local_last_;
+  std::vector<std::uint64_t> inflight_;  ///< undelivered messages per dst
+  sim::Rng jitter_rng_;
 };
 
 } // namespace ccsim::net

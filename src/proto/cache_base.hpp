@@ -3,6 +3,7 @@
 // scheduling, fence bookkeeping, and the common load path.
 #pragma once
 
+#include "obs/invariants.hpp"
 #include "proto/protocol.hpp"
 
 #include <cassert>
@@ -19,7 +20,14 @@ public:
   void cpu_store(Addr a, std::size_t size, std::uint64_t v, DoneCallback done) override;
   void cpu_fence(DoneCallback done) override;
 
+  [[nodiscard]] CacheDebug debug_state() const override {
+    return {wb_.size(), mshr_count(), pending_acks_, outstanding_};
+  }
+
 protected:
+  /// Outstanding block transactions, for watchdog diagnostics.
+  [[nodiscard]] virtual std::size_t mshr_count() const { return 0; }
+
   // --- hooks the concrete protocols implement ------------------------
 
   /// Handle a load that missed in the cache (shared address, no forward).
@@ -48,6 +56,9 @@ protected:
   void complete_load_later(Addr a, std::size_t size, LoadCallback done) {
     ctx_.q.schedule(kHitCycles, [this, a, size, done = std::move(done)]() mutable {
       if (cache_.find(mem::block_of(a))) {
+        if (ctx_.checker)
+          ctx_.checker->on_read(id_, a,
+                                cache_.read(a - a % mem::kWordSize, mem::kWordSize));
         done(cache_.read(a, size));
       } else {
         --ctx_.counters.mem.shared_reads;  // recounted by the retry

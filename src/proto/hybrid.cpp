@@ -1,5 +1,7 @@
 #include "proto/hybrid.hpp"
 
+#include "sim/check.hpp"
+
 #include <cassert>
 
 namespace ccsim::proto {
@@ -20,7 +22,7 @@ std::uint8_t domain_of_protocol(Protocol p) {
     case Protocol::CU: return 3;
     case Protocol::Hybrid: break;
   }
-  assert(false && "cannot bind a region to the Hybrid pseudo-protocol");
+  CCSIM_CHECK(false, "cannot bind a region to the Hybrid pseudo-protocol");
   return 0;
 }
 
@@ -32,7 +34,7 @@ std::size_t engine_index(Protocol p) {
     case Protocol::CU: return 2;
     case Protocol::Hybrid: break;
   }
-  assert(false);
+  CCSIM_CHECK(false, "Hybrid pseudo-protocol has no engine of its own");
   return 0;
 }
 } // namespace

@@ -44,6 +44,18 @@ public:
 
   [[nodiscard]] mem::DataCache& cache_for(mem::BlockAddr b) noexcept override;
 
+  [[nodiscard]] CacheDebug debug_state() const override {
+    CacheDebug d;
+    for (const auto& e : engines_) {
+      const CacheDebug ed = e->debug_state();
+      d.wb_entries += ed.wb_entries;
+      d.mshr += ed.mshr;
+      d.pending_acks += ed.pending_acks;
+      d.outstanding += ed.outstanding;
+    }
+    return d;
+  }
+
 private:
   [[nodiscard]] CacheController& engine_for(Addr a);
 

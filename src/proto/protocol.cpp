@@ -103,6 +103,9 @@ void BaseCacheController::cpu_load(Addr a, std::size_t size, LoadCallback done) 
     // already fired, so a spinner would otherwise sleep on a stale value).
     ctx_.q.schedule(kHitCycles, [this, a, size, done = std::move(done)]() mutable {
       if (cache_.find(mem::block_of(a))) {
+        if (ctx_.checker)
+          ctx_.checker->on_read(id_, a,
+                                cache_.read(a - a % mem::kWordSize, mem::kWordSize));
         done(cache_.read(a, size));
       } else {
         // The line vanished during the hit latency (invalidation/drop):

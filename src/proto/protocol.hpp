@@ -23,6 +23,7 @@
 namespace ccsim::obs {
 class CycleLedger;
 class HotBlockTable;
+class InvariantChecker;
 }
 
 namespace ccsim::proto {
@@ -68,9 +69,22 @@ struct ProtocolContext {
   sim::TraceLog* trace = nullptr;  ///< optional structured event trace
   obs::HotBlockTable* hot = nullptr;  ///< optional per-block attribution
   obs::CycleLedger* ledger = nullptr;  ///< optional cycle-accounting profiler
+  /// Optional runtime coherence-invariant checker (obs/invariants.hpp).
+  /// Engines notify it synchronously at transition points; it never
+  /// schedules events, so timing is unchanged whether or not it is set.
+  obs::InvariantChecker* checker = nullptr;
   Consistency consistency = Consistency::Release;
   /// Hybrid machines: protocol for blocks whose domain id is 0.
   Protocol hybrid_default = Protocol::WI;
+};
+
+/// Point-in-time occupancy of a cache controller's queues, reported in
+/// deadlock/watchdog diagnostics (see Machine::run).
+struct CacheDebug {
+  std::size_t wb_entries = 0;   ///< write-buffer occupancy
+  std::size_t mshr = 0;         ///< outstanding block transactions
+  std::int64_t pending_acks = 0;///< coherence acks a fence would wait for
+  int outstanding = 0;          ///< granted-but-unacknowledged operations
 };
 
 /// Processor-side controller: cache + write buffer + protocol engine.
@@ -110,6 +124,11 @@ public:
     return cache_;
   }
   [[nodiscard]] const mem::WriteBuffer& write_buffer() const noexcept { return wb_; }
+
+  /// Queue occupancy snapshot for watchdog/deadlock diagnostics.
+  [[nodiscard]] virtual CacheDebug debug_state() const {
+    return {wb_.size(), 0, 0, 0};
+  }
 
 protected:
   NodeId id_;

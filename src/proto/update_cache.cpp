@@ -1,6 +1,10 @@
 #include "proto/update_controllers.hpp"
 
+#include "obs/invariants.hpp"
+#include "sim/check.hpp"
+
 #include <cassert>
+#include <string>
 
 namespace ccsim::proto {
 
@@ -89,6 +93,11 @@ void UpdateCacheController::drain_head() {
     cache_.write(e.addr, e.size, e.value);
     ctx_.misses.on_store(id_, e.addr);
     line->cu_counter = 0;
+    // Single writer: a store into a private copy is globally ordered here.
+    if (ctx_.checker)
+      ctx_.checker->on_global_write(
+          id_, e.addr,
+          cache_.read(e.addr - e.addr % mem::kWordSize, mem::kWordSize));
     entry_done();
     return;
   }
@@ -114,6 +123,10 @@ void UpdateCacheController::drain_head() {
   ++ctx_.counters.mem.write_hits;
   cache_.write(e.addr, e.size, e.value);
   line->cu_counter = 0;
+  if (ctx_.checker)
+    ctx_.checker->on_local_write(
+        id_, e.addr,
+        cache_.read(e.addr - e.addr % mem::kWordSize, mem::kWordSize));
   Message m;
   m.type = MsgType::UpdateReq;
   m.dst = ctx_.alloc.home_of(b);
@@ -132,7 +145,11 @@ void UpdateCacheController::drain_head() {
 void UpdateCacheController::cpu_atomic(net::AtomicOp op, Addr a, std::uint64_t v1,
                                        std::uint64_t v2, LoadCallback done) {
   assert(mem::is_shared(a));
-  assert(!atomic_.active && "one atomic in flight per processor");
+  CCSIM_CHECK(!atomic_.active,
+              "node=%u addr=%#llx cycle=%llu: second atomic issued while one "
+              "is in flight",
+              static_cast<unsigned>(id_), static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(ctx_.q.now()));
   ++ctx_.counters.mem.atomics;
   // Atomic instructions force a write-buffer flush (paper, section 3.1).
   cpu_fence([this, op, a, v1, v2, done = std::move(done)]() mutable {
@@ -221,6 +238,13 @@ void UpdateCacheController::apply_update(const Message& msg) {
   }
   cache_.write(msg.addr, msg.payload2 ? msg.payload2 : mem::kWordSize, msg.payload);
   ctx_.updates.on_update_applied(id_, msg.addr);
+  // The value is already globally ordered (the home multicast it); record
+  // the word image this copy now shows, which can differ transiently from
+  // the home's under sub-word write interleavings.
+  if (ctx_.checker)
+    ctx_.checker->on_local_write(
+        id_, msg.addr,
+        cache_.read(msg.addr - msg.addr % mem::kWordSize, mem::kWordSize));
   cache_.notify(b);
   send(ack);
 }
@@ -257,8 +281,10 @@ void UpdateCacheController::on_message(const Message& msg) {
       --outstanding_;
       pending_acks_ += static_cast<std::int64_t>(msg.payload);
       if (msg.flag) {
-        if (mem::CacheLine* line = cache_.find(b))
+        if (mem::CacheLine* line = cache_.find(b)) {
           line->state = mem::LineState::PrivateDirty;
+          if (ctx_.checker) ctx_.checker->on_writable(id_, b);
+        }
       }
       check_fences();
       break;
@@ -291,7 +317,11 @@ void UpdateCacheController::on_message(const Message& msg) {
     }
 
     case MsgType::AtomicReply: {
-      assert(atomic_.active);
+      CCSIM_CHECK(atomic_.active,
+                  "node=%u block=%#llx cycle=%llu: atomic reply with no "
+                  "atomic in flight",
+                  static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(ctx_.q.now()));
       PendingAtomic pa = std::move(atomic_);
       atomic_.active = false;
       const std::uint64_t old = msg.payload;
@@ -320,7 +350,12 @@ void UpdateCacheController::on_message(const Message& msg) {
     }
 
     default:
-      assert(false && "unexpected message at update cache controller");
+      CCSIM_CHECK(false,
+                  "node=%u block=%#llx cycle=%llu: unexpected %s at update "
+                  "cache controller",
+                  static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(ctx_.q.now()),
+                  std::string(net::to_string(msg.type)).c_str());
   }
 }
 

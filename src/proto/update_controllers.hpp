@@ -47,6 +47,9 @@ protected:
   void handle_load_miss(Addr a, std::size_t size, LoadCallback done) override;
   void drain_head() override;
   void on_cache_hit(mem::CacheLine& l, Addr a) override { (void)a; l.cu_counter = 0; }
+  [[nodiscard]] std::size_t mshr_count() const override {
+    return txns_.size() + (atomic_.active ? 1 : 0);
+  }
 
 private:
   struct LoadWaiter {

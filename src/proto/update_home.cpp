@@ -1,8 +1,11 @@
 #include "proto/update_controllers.hpp"
 
 #include "obs/hot_blocks.hpp"
+#include "obs/invariants.hpp"
+#include "sim/check.hpp"
 
 #include <cassert>
+#include <string>
 
 namespace ccsim::proto {
 
@@ -75,7 +78,11 @@ void UpdateHomeController::on_message(const Message& msg) {
 
     case MsgType::RecallReply: {
       auto it = pending_.find(b);
-      assert(it != pending_.end() && "RecallReply without a recall in flight");
+      CCSIM_CHECK(it != pending_.end(),
+                  "home=%u block=%#llx cycle=%llu: RecallReply without a "
+                  "recall in flight",
+                  static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(ctx_.q.now()));
       if (msg.flag) {
         // Owner evicted; wait for its Writeback (unless it already landed).
         DirEntry& e = dir_.entry(b);
@@ -97,7 +104,12 @@ void UpdateHomeController::on_message(const Message& msg) {
     }
 
     default:
-      assert(false && "unexpected message at update home controller");
+      CCSIM_CHECK(false,
+                  "home=%u block=%#llx cycle=%llu: unexpected %s at update "
+                  "home controller",
+                  static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(ctx_.q.now()),
+                  std::string(net::to_string(msg.type)).c_str());
   }
 }
 
@@ -106,13 +118,21 @@ void UpdateHomeController::process(const Message& msg) {
     case MsgType::GetS: serve_gets(msg); break;
     case MsgType::UpdateReq: serve_update(msg); break;
     case MsgType::AtomicReq: serve_atomic(msg); break;
-    default: assert(false);
+    default:
+      CCSIM_CHECK(false, "home=%u cycle=%llu: %s is not a queueable request",
+                  static_cast<unsigned>(id_),
+                  static_cast<unsigned long long>(ctx_.q.now()),
+                  std::string(net::to_string(msg.type)).c_str());
   }
 }
 
 void UpdateHomeController::start_recall(mem::BlockAddr b, const Message& first) {
   DirEntry& e = dir_.entry(b);
-  assert(e.state == DirState::Private);
+  CCSIM_CHECK(e.state == DirState::Private,
+              "home=%u block=%#llx cycle=%llu: recall of a block not in "
+              "Private mode",
+              static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+              static_cast<unsigned long long>(ctx_.q.now()));
   Pending& p = pending_[b];
   p.queued.push_back(first);
   Message r;
@@ -202,6 +222,11 @@ void UpdateHomeController::serve_update(const Message& msg) {
       memory_.book(ctx_.q.now(), mem::MemoryModule::AccessKind::WordWrite);
       memory_.write_word(msg.addr, msg.payload2, msg.payload);
       ctx_.misses.on_store(msg.src, msg.addr);
+      if (ctx_.checker)
+        ctx_.checker->on_global_write(
+            msg.src, msg.addr,
+            memory_.read_word(msg.addr - msg.addr % mem::kWordSize,
+                              mem::kWordSize));
       Message g;
       g.type = MsgType::UpdateGrant;
       g.dst = msg.src;
@@ -218,6 +243,11 @@ void UpdateHomeController::serve_update(const Message& msg) {
   memory_.book(ctx_.q.now(), mem::MemoryModule::AccessKind::WordWrite);
   memory_.write_word(msg.addr, msg.payload2, msg.payload);
   ctx_.misses.on_store(msg.src, msg.addr);
+  // The home orders update-protocol writes: this is the global-order point.
+  if (ctx_.checker)
+    ctx_.checker->on_global_write(
+        msg.src, msg.addr,
+        memory_.read_word(msg.addr - msg.addr % mem::kWordSize, mem::kWordSize));
 
   if (enable_private_ && e.state == DirState::Update && e.only_sharer_is(msg.src)) {
     // Only the writer caches this block: tell it to retain future updates
@@ -277,9 +307,11 @@ void UpdateHomeController::serve_atomic(const Message& msg) {
         wrote = false;
       break;
   }
+  if (ctx_.checker) ctx_.checker->on_read(msg.src, msg.addr, old);
   if (wrote) {
     memory_.write_word(msg.addr, mem::kWordSize, next);
     ctx_.misses.on_store(msg.src, msg.addr);
+    if (ctx_.checker) ctx_.checker->on_global_write(msg.src, msg.addr, next);
   }
 
   // Atomically-accessed data follows the same coherence protocol as all

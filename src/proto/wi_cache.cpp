@@ -1,6 +1,10 @@
 #include "proto/wi_controllers.hpp"
 
+#include "obs/invariants.hpp"
+#include "sim/check.hpp"
+
 #include <cassert>
+#include <string>
 
 namespace ccsim::proto {
 
@@ -37,6 +41,11 @@ void WiCacheController::handle_load_miss(Addr a, std::size_t size, LoadCallback 
 void WiCacheController::perform_store(const mem::WriteBufferEntry& e) {
   cache_.write(e.addr, e.size, e.value);
   ctx_.misses.on_store(id_, e.addr);
+  // A store into a Modified line is globally ordered the moment it lands.
+  if (ctx_.checker)
+    ctx_.checker->on_global_write(
+        id_, e.addr,
+        cache_.read(e.addr - e.addr % mem::kWordSize, mem::kWordSize));
 }
 
 void WiCacheController::drain_head() {
@@ -102,11 +111,13 @@ std::uint64_t apply_atomic(net::AtomicOp op, std::uint64_t old, std::uint64_t v1
 void WiCacheController::do_atomic_local(net::AtomicOp op, Addr a, std::uint64_t v1,
                                         std::uint64_t v2, LoadCallback done) {
   const std::uint64_t old = cache_.read(a, mem::kWordSize);
+  if (ctx_.checker) ctx_.checker->on_read(id_, a, old);
   bool wrote = false;
   const std::uint64_t next = apply_atomic(op, old, v1, v2, wrote);
   if (wrote) {
     cache_.write(a, mem::kWordSize, next);
     ctx_.misses.on_store(id_, a);
+    if (ctx_.checker) ctx_.checker->on_global_write(id_, a, next);
   }
   ctx_.q.schedule(kAtomicCycles, [done = std::move(done), old] { done(old); });
 }
@@ -237,7 +248,11 @@ void WiCacheController::invalidate_line(mem::CacheLine& l, Addr trigger) {
 
 void WiCacheController::complete_txn(mem::BlockAddr b) {
   auto it = txns_.find(b);
-  assert(it != txns_.end());
+  CCSIM_CHECK(it != txns_.end(),
+              "node=%u block=%#llx cycle=%llu: transaction completing that was "
+              "never opened",
+              static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+              static_cast<unsigned long long>(ctx_.q.now()));
   Txn t = std::move(it->second);
   txns_.erase(it);
 
@@ -295,6 +310,7 @@ void WiCacheController::on_message(const Message& msg) {
       pending_acks_ += static_cast<std::int64_t>(msg.payload);
       --outstanding_;
       fill(b, msg.block, mem::LineState::Modified);
+      if (ctx_.checker) ctx_.checker->on_writable(id_, b);
       Message fin;
       fin.type = MsgType::ExclDone;
       fin.dst = ctx_.alloc.home_of(b);
@@ -307,8 +323,13 @@ void WiCacheController::on_message(const Message& msg) {
 
     case MsgType::UpgAck: {
       mem::CacheLine* line = cache_.find(b);
-      assert(line && line->state == mem::LineState::Shared);
+      CCSIM_CHECK(line && line->state == mem::LineState::Shared,
+                  "node=%u block=%#llx cycle=%llu: upgrade grant for a line "
+                  "not held Shared",
+                  static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(ctx_.q.now()));
       line->state = mem::LineState::Modified;
+      if (ctx_.checker) ctx_.checker->on_writable(id_, b);
       pending_acks_ += static_cast<std::int64_t>(msg.payload);
       --outstanding_;
       Message fin;
@@ -421,7 +442,12 @@ void WiCacheController::on_message(const Message& msg) {
     }
 
     default:
-      assert(false && "unexpected message at WI cache controller");
+      CCSIM_CHECK(false,
+                  "node=%u block=%#llx cycle=%llu: unexpected %s at WI cache "
+                  "controller",
+                  static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(ctx_.q.now()),
+                  std::string(net::to_string(msg.type)).c_str());
   }
 }
 

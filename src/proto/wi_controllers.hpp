@@ -32,6 +32,7 @@ public:
 protected:
   void handle_load_miss(Addr a, std::size_t size, LoadCallback done) override;
   void drain_head() override;
+  [[nodiscard]] std::size_t mshr_count() const override { return txns_.size(); }
 
 private:
   struct LoadWaiter {

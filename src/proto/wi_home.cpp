@@ -1,8 +1,10 @@
 #include "proto/wi_controllers.hpp"
 
 #include "obs/hot_blocks.hpp"
+#include "sim/check.hpp"
 
 #include <cassert>
+#include <string>
 
 namespace ccsim::proto {
 
@@ -32,7 +34,11 @@ void WiHomeController::close(mem::BlockAddr b) {
 
 void WiHomeController::restart(mem::BlockAddr b) {
   auto it = active_.find(b);
-  assert(it != active_.end());
+  CCSIM_CHECK(it != active_.end(),
+              "home=%u block=%#llx cycle=%llu: restart of a transaction that "
+              "is not active",
+              static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+              static_cast<unsigned long long>(ctx_.q.now()));
   it->second.awaiting_remote = false;
   it->second.wb_processed = false;
   it->second.waiting_wb = false;
@@ -175,7 +181,12 @@ void WiHomeController::dispatch(mem::BlockAddr b) {
       }
       break;
     default:
-      assert(false && "unexpected active request type");
+      CCSIM_CHECK(false,
+                  "home=%u block=%#llx cycle=%llu: unexpected active request "
+                  "type %s",
+                  static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(ctx_.q.now()),
+                  std::string(net::to_string(req.type)).c_str());
   }
 }
 
@@ -222,7 +233,11 @@ void WiHomeController::on_message(const Message& msg) {
       // The owner no longer holds the block; its writeback is (or was)
       // in flight. Replay once the writeback has been absorbed.
       auto it = active_.find(b);
-      assert(it != active_.end());
+      CCSIM_CHECK(it != active_.end(),
+                  "home=%u block=%#llx cycle=%llu: FwdNack with no active "
+                  "transaction",
+                  static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(ctx_.q.now()));
       if (it->second.wb_processed)
         restart(b);
       else
@@ -263,7 +278,12 @@ void WiHomeController::on_message(const Message& msg) {
     }
 
     default:
-      assert(false && "unexpected message at WI home controller");
+      CCSIM_CHECK(false,
+                  "home=%u block=%#llx cycle=%llu: unexpected %s at WI home "
+                  "controller",
+                  static_cast<unsigned>(id_), static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(ctx_.q.now()),
+                  std::string(net::to_string(msg.type)).c_str());
   }
 }
 

@@ -1,0 +1,22 @@
+#include "sim/check.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccsim::sim {
+
+void check_fail(const char* cond, const char* file, int line, const char* fmt,
+                ...) {
+  std::fprintf(stderr, "ccsim check failed: %s\n  at %s:%d\n  ", cond, file,
+               line);
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace ccsim::sim

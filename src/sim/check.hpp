@@ -1,0 +1,38 @@
+// CCSIM_CHECK: release-mode protocol invariant checks with context.
+//
+// The protocol engines guard their state machines with invariants that must
+// hold on every run, not just in Debug builds: a message type a controller
+// cannot handle, a transaction completing that was never opened, an upgrade
+// grant for a line that is not Shared. A bare assert() compiles away under
+// NDEBUG, turning such a bug into silent corruption (or a hang) exactly in
+// the Release configuration the benchmarks and sweeps run. CCSIM_CHECK stays
+// on in every build and, before aborting, prints the failing condition plus
+// printf-style context -- by convention the node, block and cycle involved --
+// so a violated invariant in a 100-cell stress grid is diagnosable from the
+// log alone.
+//
+//   CCSIM_CHECK(line->state == LineState::Shared,
+//               "node=%u block=%#llx cycle=%llu: UpgAck without Shared line",
+//               id_, (unsigned long long)b, (unsigned long long)ctx_.q.now());
+//
+// The condition is expected to be true on the hot path; the failure handler
+// is out of line and cold.
+#pragma once
+
+namespace ccsim::sim {
+
+/// Print the failed condition and formatted context to stderr, then abort.
+[[noreturn]] void check_fail(const char* cond, const char* file, int line,
+                             const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+
+} // namespace ccsim::sim
+
+#define CCSIM_CHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]]                                               \
+      ::ccsim::sim::check_fail(#cond, __FILE__, __LINE__, __VA_ARGS__);     \
+  } while (0)

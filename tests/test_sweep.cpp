@@ -141,6 +141,8 @@ TEST(Sweep, ThrowingJobBecomesFailedCellWithoutAbortingTheSweep) {
     if (i == victim) {
       EXPECT_FALSE(results[i].ok);
       EXPECT_FALSE(results[i].error.empty());
+      // Hitting the max_cycles backstop is classified as a deadlock cell.
+      EXPECT_EQ(results[i].fail, SweepResult::FailKind::Deadlock);
     } else {
       EXPECT_TRUE(results[i].ok) << results[i].name << ": " << results[i].error;
     }
@@ -152,8 +154,24 @@ TEST(Sweep, FailedCellsAreContainedSequentiallyToo) {
   jobs[0].machine.max_cycles = 10;
   const auto results = harness::run_sweep(jobs, SweepOptions{});
   EXPECT_FALSE(results[0].ok);
-  for (std::size_t i = 1; i < results.size(); ++i)
+  EXPECT_EQ(results[0].fail, SweepResult::FailKind::Deadlock);
+  for (std::size_t i = 1; i < results.size(); ++i) {
     EXPECT_TRUE(results[i].ok) << results[i].name;
+    EXPECT_EQ(results[i].fail, SweepResult::FailKind::None);
+  }
+}
+
+TEST(Sweep, CustomRunnerOverridesFamilyDispatch) {
+  SweepJob j;
+  j.name = "custom";
+  j.runner = [](const harness::MachineConfig&) {
+    harness::RunResult r;
+    r.cycles = 1234;
+    return r;
+  };
+  const SweepResult r = harness::run_sweep_job(j);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.run.cycles, 1234u);
 }
 
 TEST(Sweep, SharedTraceSinkIsRejectedWhenParallel) {

@@ -7,6 +7,7 @@
 namespace {
 
 using namespace ccsim;
+using harness::DeadlockError;
 using harness::Machine;
 using harness::MachineConfig;
 using proto::Protocol;
@@ -89,10 +90,10 @@ TEST(TraceMachine, DeadlockReportIncludesTraceAndStuckProcs) {
   try {
     m.run(ps);
     FAIL() << "expected a deadlock";
-  } catch (const std::runtime_error& e) {
+  } catch (const DeadlockError& e) {
     const std::string msg = e.what();
-    EXPECT_NE(msg.find("deadlock"), std::string::npos);
-    EXPECT_NE(msg.find("stuck: 0"), std::string::npos);
+    EXPECT_NE(msg.find("drained with programs waiting"), std::string::npos);
+    EXPECT_NE(msg.find("stuck processors: 0"), std::string::npos);
     EXPECT_NE(msg.find("last trace events"), std::string::npos);
     EXPECT_NE(msg.find("GetS"), std::string::npos) << "spin's fetch should be traced";
   }

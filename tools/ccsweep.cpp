@@ -82,7 +82,8 @@ std::vector<std::string> split(const std::string& s) {
 std::uint64_t parse_u64(const std::string& s, const char* what) {
   char* end = nullptr;
   const std::uint64_t v = std::strtoull(s.c_str(), &end, 0);
-  if (end == s.c_str() || *end != '\0')
+  // strtoull silently wraps "-1" to 2^64-1; reject signs explicitly.
+  if (end == s.c_str() || *end != '\0' || s.find_first_of("+-") != std::string::npos)
     throw std::invalid_argument(std::string(what) + ": bad number \"" + s + '"');
   return v;
 }
@@ -379,10 +380,12 @@ void write_doc(std::ostream& os, const Options& o,
     w.begin_object();
     w.key("name").value(r.name);
     w.key("ok").value(r.ok);
-    if (r.ok)
+    if (r.ok) {
       harness::write_run_fields(w, r.run);
-    else
+    } else {
+      w.key("fail_kind").value(harness::to_string(r.fail));
       w.key("error").value(r.error);
+    }
     w.end_object();
   }
   w.end_array();
@@ -415,6 +418,7 @@ void write_doc(std::ostream& os, const Options& o,
     for (const harness::SweepResult* r : failed) {
       w.begin_object();
       w.key("name").value(r->name);
+      w.key("fail_kind").value(harness::to_string(r->fail));
       w.key("error").value(r->error);
       w.end_object();
     }
