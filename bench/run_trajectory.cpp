@@ -10,9 +10,13 @@
 // committed BENCH_ppopp97.json baseline.
 //
 //   run_trajectory [--out=FILE] [--scale=X] [--procs=a,b] [--paper]
-//                  [--jobs=N]
+//                  [--jobs=N] [--host-metrics]
 //
 // Defaults: --out=BENCH_ppopp97.json, --scale=0.02, --procs=16, --jobs=1.
+// --host-metrics additionally records per-entry host throughput (ms,
+// cycles/sec, events/sec) so bench_compare can gate simulator-throughput
+// drops; host readings are wall-clock, so a --host-metrics document is NOT
+// byte-reproducible and the committed baseline is written without it.
 // The simulator is deterministic and the suite's cells are independent
 // simulations, so --jobs=N fans them out over the sweep engine with
 // byte-identical output for every N (the committed baseline can be
@@ -39,6 +43,12 @@ harness::TrajectoryEntry make_entry(std::string name, const harness::RunResult& 
     const auto totals = r.profile.totals();
     e.breakdown.assign(totals.begin(), totals.end());
   }
+  if (r.host.enabled()) {
+    e.has_host = true;
+    e.host_ms = r.host.ms();
+    e.cycles_per_sec = r.host.cycles_per_sec();
+    e.events_per_sec = r.host.events_per_sec();
+  }
   return e;
 }
 
@@ -54,11 +64,13 @@ std::string point_name(std::string_view fig, std::string_view tag,
   return s;
 }
 
-harness::MachineConfig machine(proto::Protocol proto, unsigned p) {
+harness::MachineConfig machine(proto::Protocol proto, unsigned p,
+                               bool host_metrics) {
   harness::MachineConfig cfg;
   cfg.protocol = proto;
   cfg.nprocs = p;
   cfg.obs.profile = true;  // the breakdown vector is part of the document
+  cfg.obs.host_metrics = host_metrics;
   return cfg;
 }
 
@@ -70,7 +82,7 @@ std::vector<harness::SweepJob> suite_jobs(const harness::BenchOptions& opts) {
                                   harness::LockKind::UcMcs}) {
         harness::SweepJob j;
         j.name = point_name("fig08", lock_tag(k), proto, p);
-        j.machine = machine(proto, p);
+        j.machine = machine(proto, p, opts.obs.host_metrics);
         j.family = harness::ConstructFamily::Lock;
         j.lock = k;
         j.lock_params.total_acquires = opts.scaled(32000);
@@ -81,7 +93,7 @@ std::vector<harness::SweepJob> suite_jobs(const harness::BenchOptions& opts) {
             harness::BarrierKind::Tree, harness::BarrierKind::CombiningTree}) {
         harness::SweepJob j;
         j.name = point_name("fig11", barrier_tag(k), proto, p);
-        j.machine = machine(proto, p);
+        j.machine = machine(proto, p, opts.obs.host_metrics);
         j.family = harness::ConstructFamily::Barrier;
         j.barrier = k;
         j.barrier_params.episodes = opts.scaled(5000);
@@ -91,7 +103,7 @@ std::vector<harness::SweepJob> suite_jobs(const harness::BenchOptions& opts) {
            {harness::ReductionKind::Parallel, harness::ReductionKind::Sequential}) {
         harness::SweepJob j;
         j.name = point_name("fig14", reduction_tag(k), proto, p);
-        j.machine = machine(proto, p);
+        j.machine = machine(proto, p, opts.obs.host_metrics);
         j.family = harness::ConstructFamily::Reduction;
         j.reduction = k;
         j.reduction_params.rounds = opts.scaled(5000);
@@ -151,6 +163,8 @@ int main(int argc, char** argv) {
         if (end == a.c_str() + 7 || *end != '\0')
           throw std::invalid_argument("--jobs needs a non-negative integer");
         opts.jobs = static_cast<unsigned>(n);
+      } else if (a == "--host-metrics") {
+        opts.obs.host_metrics = true;
       } else if (a.rfind("--procs=", 0) == 0) {
         std::vector<unsigned> procs;
         std::string list = a.substr(8);

@@ -62,6 +62,8 @@ bool parse_obs_arg(ObsOptions& o, int argc, char** argv, int& i) {
     if (o.hot_top_k == 0) throw std::invalid_argument("--hot-top must be > 0");
   } else if (std::strcmp(argv[i], "--profile") == 0) {
     o.profile = true;
+  } else if (std::strcmp(argv[i], "--host-metrics") == 0) {
+    o.host_metrics = true;
   } else {
     return false;
   }

@@ -22,6 +22,11 @@
 //   --profile             cycle-accounting profiler: per-category stall
 //                         breakdown and sync-phase latency histograms,
 //                         printed per run and embedded in --json output
+//   --host-metrics        host-performance telemetry: simulator throughput,
+//                         event-queue depth stats, allocation counters and
+//                         host-time attribution, printed per run and added
+//                         as a "host" section to --json output. Never
+//                         changes simulated results.
 // Each obs flag accepts both `--flag value` and `--flag=value`.
 // The REPRO_SCALE environment variable, if set, provides the default scale.
 #pragma once
@@ -43,9 +48,10 @@ struct ObsOptions {
   Cycle sample_interval = 0;  ///< --sample-interval (0 = off)
   std::size_t hot_top_k = 16; ///< --hot-top
   bool profile = false;       ///< --profile (cycle accounting)
+  bool host_metrics = false;  ///< --host-metrics (host telemetry)
   [[nodiscard]] bool any() const noexcept {
     return !json_path.empty() || !trace_path.empty() || sample_interval != 0 ||
-           profile;
+           profile || host_metrics;
   }
 };
 

@@ -22,6 +22,9 @@ Machine::Machine(MachineConfig cfg)
                   : nullptr),
       checker_(cfg.obs.check_invariants ? std::make_unique<obs::InvariantChecker>()
                                         : nullptr),
+      host_(cfg.obs.host_metrics ? std::make_unique<obs::HostPerfCollector>(
+                                       cfg.obs.host_queue_sample)
+                                 : nullptr),
       ctx_{q_,
            net_,
            alloc_,
@@ -34,6 +37,7 @@ Machine::Machine(MachineConfig cfg)
            hot_.get(),
            ledger_.get(),
            checker_.get(),
+           host_.get(),
            cfg.consistency,
            cfg.hybrid_default} {
   if (checker_ && cfg_.protocol == proto::Protocol::Hybrid)
@@ -48,6 +52,7 @@ Machine::Machine(MachineConfig cfg)
     updates_.set_hot(hot_.get());
   }
   if (ledger_) misses_.set_ledger(ledger_.get());
+  if (host_) net_.set_host(host_.get());
   nodes_.reserve(cfg_.nprocs);
   procs_.reserve(cfg_.nprocs);
   for (NodeId i = 0; i < cfg_.nprocs; ++i) {
@@ -84,16 +89,18 @@ Cycle Machine::run(const std::vector<Program>& programs) {
     sampler =
         std::make_unique<obs::IntervalSampler>(cfg_.obs.sample_interval, counters_);
 
+  if (host_) host_->run_begin();
   const bool watch = cfg_.watchdog_stall_cycles > 0;
   std::uint64_t seen_progress = progress_;
   Cycle progress_cycle = q_.now();
   bool drained;
-  if (sampler || watch) {
+  if (sampler || watch || host_) {
     // Drive the queue manually so interval boundaries are cut at the right
     // sim times (a self-rescheduling sampler event would keep the queue
-    // non-empty forever and defeat drain-based deadlock detection), and so
+    // non-empty forever and defeat drain-based deadlock detection), so
     // the watchdog can compare the next event time against the last cycle
-    // at which some processor completed a memory operation.
+    // at which some processor completed a memory operation, and so the
+    // host collector can observe queue depth between events.
     while (!q_.empty() && q_.next_time() <= cfg_.max_cycles) {
       if (watch) {
         if (progress_ != seen_progress) {
@@ -107,7 +114,11 @@ Cycle Machine::run(const std::vector<Program>& programs) {
                                        remaining, programs.size()));
         }
       }
-      if (sampler) sampler->advance_to(q_.next_time());
+      if (sampler) {
+        obs::ScopedHostCat t(host_.get(), obs::HostCat::ObsHooks);
+        sampler->advance_to(q_.next_time());
+      }
+      if (host_) host_->before_event(q_.next_time(), q_.pending());
       q_.step();
     }
     drained = q_.empty();
@@ -121,7 +132,10 @@ Cycle Machine::run(const std::vector<Program>& programs) {
                 : "simulated time exceeded max_cycles",
         remaining, programs.size()));
   }
-  if (checker_) checker_->final_audit();
+  if (checker_) {
+    obs::ScopedHostCat t(host_.get(), obs::HostCat::ObsHooks);
+    checker_->final_audit();
+  }
   updates_.finalize(q_.now());
   if (ledger_) ledger_->finalize(q_.now());
   if (sampler) {
@@ -130,6 +144,7 @@ Cycle Machine::run(const std::vector<Program>& programs) {
     sampler->finish(q_.now());
     samples_ = sampler->series();
   }
+  if (host_) host_->run_end();
   return q_.now();
 }
 
@@ -177,6 +192,16 @@ std::string Machine::diagnose(const std::string& what, unsigned remaining,
 std::vector<obs::HotBlockTable::Row> Machine::hot_blocks() const {
   if (!hot_) return {};
   return hot_->top(cfg_.obs.hot_top_k, &alloc_);
+}
+
+obs::HostPerfReport Machine::host_report() const {
+  if (!host_) return {};
+  obs::HostPerfReport r = host_->report();
+  r.sim_cycles = q_.now();
+  r.events_executed = q_.executed();
+  r.events_scheduled = q_.scheduled();
+  r.messages = counters_.net.messages + counters_.net.local;
+  return r;
 }
 
 obs::ProfileSnapshot Machine::profile() const {

@@ -9,6 +9,7 @@
 #include "cpu/processor.hpp"
 #include "net/network.hpp"
 #include "obs/cycle_accounting.hpp"
+#include "obs/host_perf.hpp"
 #include "obs/hot_blocks.hpp"
 #include "obs/invariants.hpp"
 #include "obs/sampler.hpp"
@@ -62,6 +63,15 @@ struct ObsConfig {
   /// Protocol::Hybrid (three engines share each node; the per-node
   /// cache/directory pairing the checker audits does not exist).
   bool check_invariants = false;
+  /// Collect host-performance telemetry (obs/host_perf.hpp): simulator
+  /// throughput, event-queue depth statistics, allocation counters, and
+  /// host-time attribution across subsystems. Pure host-side observer:
+  /// simulated cycles, counters and run JSON (minus the opt-in "host"
+  /// section) are byte-identical with it on or off.
+  bool host_metrics = false;
+  /// Simulated-cycle period at which the host collector samples event-queue
+  /// depth. Cycle-based so the histogram is deterministic across hosts.
+  Cycle host_queue_sample = 4096;
 };
 
 struct MachineConfig {
@@ -146,6 +156,10 @@ public:
     return checker_ ? checker_->checks() : 0;
   }
 
+  /// The run's host-performance report (default-constructed snapshot with
+  /// enabled() == false unless obs.host_metrics). Valid after run().
+  [[nodiscard]] obs::HostPerfReport host_report() const;
+
 private:
   [[nodiscard]] std::string diagnose(const std::string& what, unsigned remaining,
                                      std::size_t nprograms) const;
@@ -161,6 +175,7 @@ private:
   std::unique_ptr<obs::HotBlockTable> hot_;
   std::unique_ptr<obs::CycleLedger> ledger_;  ///< must precede ctx_
   std::unique_ptr<obs::InvariantChecker> checker_;  ///< must precede ctx_
+  std::unique_ptr<obs::HostPerfCollector> host_;  ///< must precede ctx_
   proto::ProtocolContext ctx_;
   obs::IntervalSeries samples_;
   std::vector<std::unique_ptr<proto::Node>> nodes_;

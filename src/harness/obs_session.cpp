@@ -47,6 +47,7 @@ void ObsSession::configure(MachineConfig& cfg, std::string label) {
   cfg.obs.hot_top_k = opts_.hot_top_k;
   cfg.obs.sink = sink_.get();
   cfg.obs.profile = opts_.profile;
+  cfg.obs.host_metrics = opts_.host_metrics;
   if (sink_) sink_->begin_run(label_);
 }
 
@@ -58,6 +59,11 @@ void ObsSession::record(const RunResult& r) {
   if (opts_.profile && r.profile.enabled()) {
     std::cout << "[" << label_ << "]\n";
     stats::print_profile(std::cout, r.profile);
+    std::cout << '\n';
+  }
+  if (opts_.host_metrics && r.host.enabled()) {
+    std::cout << "[" << label_ << "]\n";
+    stats::print_host(std::cout, r.host);
     std::cout << '\n';
   }
   if (!opts_.json_path.empty()) runs_.push_back({label_, r});
@@ -176,6 +182,38 @@ void write_run_fields(stats::JsonWriter& w, const RunResult& r) {
     w.key("wb_pushes").value(r.profile.wb_pushes);
     w.end_object();
   }
+
+  if (r.host.enabled()) {
+    w.key("host").begin_object();
+    write_host_fields(w, r.host);
+    w.end_object();
+  }
+}
+
+void write_host_fields(stats::JsonWriter& w, const obs::HostPerfReport& h) {
+  w.key("schema").value(obs::HostPerfReport::kSchema);
+  w.key("ms").value(h.ms());
+  w.key("sim_cycles").value(h.sim_cycles);
+  w.key("events").value(h.events_executed);
+  w.key("events_scheduled").value(h.events_scheduled);
+  w.key("cycles_per_sec").value(h.cycles_per_sec());
+  w.key("events_per_sec").value(h.events_per_sec());
+  w.key("queue").begin_object();
+  w.key("depth");
+  stats::histogram_to_json(w, h.queue_depth);
+  w.key("peak").value(h.queue_peak);
+  w.key("sample_interval").value(h.queue_sample_interval);
+  w.end_object();
+  w.key("alloc").begin_object();
+  w.key("messages").value(h.messages);
+  w.key("frames").value(h.frames);
+  w.end_object();
+  w.key("subsystems").begin_object();
+  for (std::size_t i = 0; i < obs::kHostCats; ++i) {
+    const auto c = static_cast<obs::HostCat>(i);
+    w.key(std::string(obs::to_string(c)) + "_ns").value(h.ns_by[i]);
+  }
+  w.end_object();
 }
 
 } // namespace ccsim::harness

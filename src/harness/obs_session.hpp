@@ -69,4 +69,10 @@ void write_run_json(stats::JsonWriter& w, const std::string& label,
 /// (documented in docs/schema.md).
 void write_run_fields(stats::JsonWriter& w, const RunResult& r);
 
+/// Emit the body of the "host" section (schema, throughput, queue stats,
+/// allocation counters, subsystem nanoseconds) into the object currently
+/// open on `w`. Shared with tools/ccperf. Schema in docs/schema.md; the
+/// section is opt-in and excluded from byte-identity comparisons.
+void write_host_fields(stats::JsonWriter& w, const obs::HostPerfReport& h);
+
 } // namespace ccsim::harness

@@ -1,0 +1,87 @@
+#include "harness/progress.hpp"
+
+#include <cstdio>
+
+#if defined(_WIN32)
+#include <io.h>
+#define CCSIM_ISATTY _isatty
+#define CCSIM_FILENO _fileno
+#else
+#include <unistd.h>
+#define CCSIM_ISATTY isatty
+#define CCSIM_FILENO fileno
+#endif
+
+namespace ccsim::harness {
+
+bool ProgressReporter::stderr_is_tty() noexcept {
+  return CCSIM_ISATTY(CCSIM_FILENO(stderr)) != 0;
+}
+
+std::string ProgressReporter::format_line(const std::string& label,
+                                          std::size_t done, std::size_t total,
+                                          double elapsed_sec) {
+  const double pct = total == 0 ? 100.0
+                                : 100.0 * static_cast<double>(done) /
+                                      static_cast<double>(total);
+  char buf[160];
+  int n = std::snprintf(buf, sizeof buf, "%s: %zu/%zu (%.1f%%)", label.c_str(),
+                        done, total, pct);
+  if (elapsed_sec > 0.0 && done > 0) {
+    const double rate = static_cast<double>(done) / elapsed_sec;
+    const std::size_t left = total > done ? total - done : 0;
+    const double eta = rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
+    std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                  " %.1f/s ETA %.0fs", rate, eta);
+  }
+  return buf;
+}
+
+ProgressReporter::ProgressReporter(std::ostream& os, std::size_t total)
+    : ProgressReporter(os, total, Options{}) {}
+
+ProgressReporter::ProgressReporter(std::ostream& os, std::size_t total,
+                                   Options opts)
+    : os_(os),
+      total_(total),
+      opts_(std::move(opts)),
+      active_(opts_.force || stderr_is_tty()),
+      start_(Clock::now()),
+      last_paint_(start_) {}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+void ProgressReporter::update(std::size_t done) {
+  if (!active_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  const Clock::time_point now = Clock::now();
+  const bool final = done >= total_;
+  if (painted_ && !final &&
+      now - last_paint_ < std::chrono::milliseconds(opts_.min_interval_ms))
+    return;
+  last_paint_ = now;
+  painted_ = true;
+  const double elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now - start_)
+          .count();
+  // \r + trailing clear-to-spaces keeps a shrinking line from leaving
+  // stale characters; no newline until finish().
+  os_ << '\r' << format_line(opts_.label, done, total_, elapsed) << "    "
+      << "\r" << format_line(opts_.label, done, total_, elapsed);
+  os_.flush();
+}
+
+void ProgressReporter::finish() {
+  if (!active_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  if (painted_) {
+    // Erase the line so subsequent normal output starts clean.
+    os_ << "\r\033[K";
+    os_.flush();
+  }
+}
+
+} // namespace ccsim::harness

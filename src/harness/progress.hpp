@@ -1,0 +1,76 @@
+// Live progress line for long sweeps (ccsweep/ccstress/ccperf --progress).
+//
+// Writes a single self-overwriting stderr line -- "12/60 cells (20.0%)
+// 3.4/s ETA 14s" -- throttled to at most one repaint per min_interval_ms so
+// a fast sweep does not spend its time repainting a terminal. Off unless
+// stderr is a TTY (or Options::force, for tests); progress is presentation,
+// not data, so redirected runs and CI logs never see control characters.
+//
+// Thread-safe: the sweep engine invokes the callback from worker threads.
+#pragma once
+
+#include <cstddef>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace ccsim::harness {
+
+class ProgressReporter {
+public:
+  struct Options {
+    /// Minimum host milliseconds between repaints (the final update and
+    /// finish() always paint).
+    unsigned min_interval_ms = 100;
+    /// Paint even when stderr is not a terminal (tests).
+    bool force = false;
+    /// Noun printed after the counts ("cells", "runs", ...).
+    std::string label = "cells";
+  };
+
+  /// Reports to `os` (normally std::cerr). Inactive -- every call a no-op
+  /// -- unless `os` should paint per `force`/TTY.
+  ProgressReporter(std::ostream& os, std::size_t total);
+  ProgressReporter(std::ostream& os, std::size_t total, Options opts);
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+  ~ProgressReporter();
+
+  /// Record that `done` items have completed; repaints when the throttle
+  /// interval has elapsed or the run just finished.
+  void update(std::size_t done);
+
+  /// Erase the progress line (call before printing normal output).
+  /// Idempotent; also runs from the destructor.
+  void finish();
+
+  /// True when updates will paint (TTY or forced).
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Is stderr attached to a terminal? (isatty(2); the reason --progress
+  /// defaults to off under redirection.)
+  [[nodiscard]] static bool stderr_is_tty() noexcept;
+
+  /// The line body, separated out so tests can pin the format:
+  /// "<label>: <done>/<total> (<pct>%) <rate>/s ETA <eta>s".
+  /// elapsed_sec <= 0 omits rate and ETA.
+  [[nodiscard]] static std::string format_line(const std::string& label,
+                                               std::size_t done, std::size_t total,
+                                               double elapsed_sec);
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  std::ostream& os_;
+  std::size_t total_;
+  Options opts_;
+  bool active_;
+  std::mutex mu_;
+  Clock::time_point start_;
+  Clock::time_point last_paint_;
+  bool painted_ = false;
+  bool finished_ = false;
+};
+
+} // namespace ccsim::harness

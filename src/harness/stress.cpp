@@ -154,6 +154,7 @@ RunResult run_stress_cell(const MachineConfig& cfg, const StressParams& params) 
   r.hot = m.hot_blocks();
   r.profile = m.profile();
   r.invariant_checks = m.invariant_checks();
+  r.host = m.host_report();
   return r;
 }
 

@@ -83,8 +83,10 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepJob>& jobs,
   }
 
   if (workers == 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i)
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
       results[i] = run_sweep_job(jobs[i]);
+      if (opts.progress) opts.progress(i + 1, jobs.size());
+    }
     return results;
   }
 
@@ -92,15 +94,18 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepJob>& jobs,
   // job. results[i] slots are disjoint per job, and the jthread joins at
   // scope exit publish every slot before we return.
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
   {
     std::vector<std::jthread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back([&jobs, &results, &next] {
+      pool.emplace_back([&jobs, &results, &next, &done, &opts] {
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= jobs.size()) return;
           results[i] = run_sweep_job(jobs[i]);
+          const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (opts.progress) opts.progress(d, jobs.size());
         }
       });
     }

@@ -75,6 +75,10 @@ struct SweepOptions {
   /// failure containment); 0 = one per hardware thread. The pool never
   /// exceeds the number of jobs.
   unsigned jobs = 1;
+  /// Invoked after each cell completes with the number of cells finished
+  /// so far and the total (tools wire a ProgressReporter here). Called
+  /// from worker threads when jobs > 1 -- must be thread-safe.
+  std::function<void(std::size_t done, std::size_t total)> progress;
 };
 
 /// Run one job synchronously, containing any exception as a failed cell.

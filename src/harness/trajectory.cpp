@@ -29,6 +29,13 @@ void write_trajectory(std::ostream& os, const TrajectoryDoc& doc) {
       for (Cycle c : e.breakdown) w.value(c);
       w.end_array();
     }
+    if (e.has_host) {
+      w.key("host").begin_object();
+      w.key("ms").value(e.host_ms);
+      w.key("cycles_per_sec").value(e.cycles_per_sec);
+      w.key("events_per_sec").value(e.events_per_sec);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -60,6 +67,12 @@ TrajectoryDoc read_trajectory(std::istream& is) {
     e.p99 = v.at("p99").number;
     if (const stats::JsonValue* b = v.find("breakdown"))
       for (const stats::JsonValue& c : b->array) e.breakdown.push_back(c.integer);
+    if (const stats::JsonValue* h = v.find("host")) {
+      e.has_host = true;
+      e.host_ms = h->at("ms").number;
+      e.cycles_per_sec = h->at("cycles_per_sec").number;
+      e.events_per_sec = h->at("events_per_sec").number;
+    }
     doc.entries.push_back(std::move(e));
   }
   return doc;
@@ -91,6 +104,17 @@ CompareResult compare_trajectories(const TrajectoryDoc& base,
                             : 0.0;
     row.regression = row.delta_pct > opt.max_regress_pct;
     if (row.regression) r.ok = false;
+    // Throughput gates only when both sides measured it: baselines
+    // recorded without --host-metrics compare on latency alone.
+    if (b.has_host && c.has_host && b.cycles_per_sec > 0.0) {
+      row.has_tput = true;
+      row.base_tput = b.cycles_per_sec;
+      row.cand_tput = c.cycles_per_sec;
+      row.tput_delta_pct =
+          (c.cycles_per_sec - b.cycles_per_sec) / b.cycles_per_sec * 100.0;
+      row.tput_regression = row.tput_delta_pct < -opt.max_tput_drop_pct;
+      if (row.tput_regression) r.ok = false;
+    }
     r.rows.push_back(std::move(row));
   }
   for (const TrajectoryEntry& c : cand.entries)
@@ -113,6 +137,14 @@ void print_compare(std::ostream& os, const CompareResult& r,
                   static_cast<int>(width), row.name.c_str(), row.base, row.cand,
                   row.delta_pct, row.regression ? "  REGRESSION" : "");
     os << line;
+    if (row.has_tput) {
+      std::snprintf(line, sizeof line,
+                    "%-*s %10.2fM %10.2fM %+7.1f%%%s  (host cyc/s)\n",
+                    static_cast<int>(width), "", row.base_tput * 1e-6,
+                    row.cand_tput * 1e-6, row.tput_delta_pct,
+                    row.tput_regression ? "  TPUT REGRESSION" : "");
+      os << line;
+    }
   }
   for (const std::string& n : r.missing)
     os << "MISSING from candidate: " << n << '\n';
@@ -122,9 +154,16 @@ void print_compare(std::ostream& os, const CompareResult& r,
     os << "OK: no regressions beyond " << opt.max_regress_pct << "%\n";
   } else {
     std::size_t regressed = 0;
-    for (const CompareResult::Row& row : r.rows) regressed += row.regression;
+    std::size_t tput_regressed = 0;
+    for (const CompareResult::Row& row : r.rows) {
+      regressed += row.regression;
+      tput_regressed += row.tput_regression;
+    }
     os << "FAIL: " << regressed << " regression(s) beyond "
        << opt.max_regress_pct << "%";
+    if (tput_regressed != 0)
+      os << ", " << tput_regressed << " throughput drop(s) beyond "
+         << opt.max_tput_drop_pct << "%";
     if (!r.missing.empty()) os << ", " << r.missing.size() << " missing";
     os << '\n';
   }

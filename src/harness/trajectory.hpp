@@ -30,6 +30,15 @@ struct TrajectoryEntry {
   double p99 = 0.0;          ///< tail per-operation latency
   /// Cycle-accounting totals in CycleCat order (empty = profiling off).
   std::vector<Cycle> breakdown;
+  /// Optional host-performance readings (--host-metrics): present only
+  /// when the run collected them. Additive -- schema stays 1; documents
+  /// without a "host" object read back with has_host == false and compare
+  /// on latency only. Host numbers are wall-clock and therefore excluded
+  /// from byte-identity checks (docs/schema.md).
+  bool has_host = false;
+  double host_ms = 0.0;          ///< host milliseconds inside Machine::run
+  double cycles_per_sec = 0.0;   ///< simulated-cycle throughput
+  double events_per_sec = 0.0;   ///< executed-event throughput
 };
 
 struct TrajectoryDoc {
@@ -55,6 +64,12 @@ struct CompareOptions {
   /// Also fail when a benchmark present in the baseline is missing from
   /// the candidate (coverage must not silently shrink).
   bool require_all = true;
+  /// Direction-aware host-throughput gate: fail when an entry's simulated
+  /// cycles/sec *drops* by more than this percentage (throughput gains
+  /// always pass; latency is gated the other way round by max_regress_pct).
+  /// Only applies when BOTH entries carry host data, so comparing against
+  /// a baseline written without --host-metrics never trips it.
+  double max_tput_drop_pct = 10.0;
 };
 
 /// The verdict for one benchmark and for the diff as a whole.
@@ -65,6 +80,13 @@ struct CompareResult {
     double cand = 0.0;       ///< candidate avg_latency
     double delta_pct = 0.0;  ///< (cand - base) / base * 100; + = slower
     bool regression = false;
+    /// Host-throughput comparison; meaningful only when has_tput (both
+    /// sides carried host data).
+    bool has_tput = false;
+    double base_tput = 0.0;       ///< baseline cycles_per_sec
+    double cand_tput = 0.0;       ///< candidate cycles_per_sec
+    double tput_delta_pct = 0.0;  ///< (cand - base) / base * 100; - = slower
+    bool tput_regression = false;
   };
   std::vector<Row> rows;             ///< every benchmark in both docs
   std::vector<std::string> missing;  ///< in baseline, absent from candidate

@@ -66,6 +66,7 @@ void capture_obs(RunResult& r, const Machine& m) {
   r.hot = m.hot_blocks();
   r.profile = m.profile();
   r.invariant_checks = m.invariant_checks();
+  r.host = m.host_report();
 }
 } // namespace
 

@@ -36,6 +36,9 @@ struct RunResult {
   obs::ProfileSnapshot profile;
   /// Coherence-invariant checks performed (0 unless obs.check_invariants).
   std::uint64_t invariant_checks = 0;
+  /// Host-performance telemetry (enabled() == false unless
+  /// obs.host_metrics). Never affects the simulated fields above.
+  obs::HostPerfReport host;
 };
 
 /// Lock experiment (section 4.1): each processor acquires, holds for

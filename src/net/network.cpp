@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include "obs/host_perf.hpp"
 #include "obs/trace.hpp"
 
 #include <algorithm>
@@ -53,6 +54,8 @@ void Network::attach(NodeId n, MessageSink& sink) {
 }
 
 void Network::send(const Message& msg) {
+  // Host telemetry: routing + contention arithmetic is network work.
+  obs::ScopedHostCat host_scope(host_, obs::HostCat::Network);
   assert(msg.src < sinks_.size() && msg.dst < sinks_.size());
   MessageSink* sink = sinks_[msg.dst];
   assert(sink && "destination node has no sink attached");

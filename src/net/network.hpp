@@ -19,6 +19,7 @@
 #include <vector>
 
 namespace ccsim::obs {
+class HostPerfCollector;
 class TraceLog;
 }
 
@@ -66,6 +67,11 @@ public:
   /// id so sinks can draw message-lifetime arrows.
   void set_trace(obs::TraceLog* trace) noexcept { trace_ = trace; }
 
+  /// Attach the host-performance collector (obs/host_perf.hpp); send()
+  /// then attributes its routing/contention host time to the network
+  /// category. Pure host-side observer -- simulated timing is unchanged.
+  void set_host(obs::HostPerfCollector* host) noexcept { host_ = host; }
+
   /// Inject a message. Delivery is scheduled on the event queue with full
   /// endpoint contention accounting.
   void send(const Message& msg);
@@ -88,6 +94,7 @@ private:
   Params params_;
   stats::NetCounters* counters_;
   obs::TraceLog* trace_ = nullptr;
+  obs::HostPerfCollector* host_ = nullptr;
   std::vector<MessageSink*> sinks_;
   std::vector<Cycle> inject_free_;
   std::vector<Cycle> eject_free_;

@@ -1,0 +1,117 @@
+#include "obs/host_perf.hpp"
+
+#include "sim/task.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ccsim::obs {
+
+std::string_view to_string(HostCat c) noexcept {
+  switch (c) {
+    case HostCat::EventLoop: return "event_loop";
+    case HostCat::Protocol: return "protocol";
+    case HostCat::Network: return "network";
+    case HostCat::ObsHooks: return "obs_hooks";
+    case HostCat::Count_: break;
+  }
+  return "?";
+}
+
+double HostPerfReport::cycles_per_sec() const noexcept {
+  return host_ns == 0 ? 0.0
+                      : static_cast<double>(sim_cycles) / seconds();
+}
+
+double HostPerfReport::events_per_sec() const noexcept {
+  return host_ns == 0 ? 0.0
+                      : static_cast<double>(events_executed) / seconds();
+}
+
+double HostPerfReport::share(HostCat c) const noexcept {
+  if (host_ns == 0) return 0.0;
+  return static_cast<double>(ns_by[static_cast<std::size_t>(c)]) /
+         static_cast<double>(host_ns);
+}
+
+void HostPerfReport::merge(const HostPerfReport& o) {
+  on = on || o.on;
+  host_ns += o.host_ns;
+  sim_cycles += o.sim_cycles;
+  events_executed += o.events_executed;
+  events_scheduled += o.events_scheduled;
+  messages += o.messages;
+  frames += o.frames;
+  queue_depth.merge(o.queue_depth);
+  queue_peak = std::max(queue_peak, o.queue_peak);
+  if (queue_sample_interval == 0) queue_sample_interval = o.queue_sample_interval;
+  for (std::size_t i = 0; i < kHostCats; ++i) ns_by[i] += o.ns_by[i];
+}
+
+HostPerfCollector::HostPerfCollector(Cycle queue_sample_interval)
+    : interval_(queue_sample_interval), next_boundary_(queue_sample_interval) {
+  if (interval_ == 0)
+    throw std::invalid_argument("host_perf: queue sample interval must be > 0");
+}
+
+void HostPerfCollector::run_begin() {
+  assert(!running_ && !done_);
+  running_ = true;
+  frames_at_begin_ = sim::frames_allocated();
+  last_ = Clock::now();
+}
+
+void HostPerfCollector::run_end() {
+  assert(running_ && !done_);
+  // Any scopes still open (an exception unwound past run_end) charge to
+  // their own category on destruction; the tail here is event-loop time.
+  charge(current());
+  frames_ = sim::frames_allocated() - frames_at_begin_;
+  running_ = false;
+  done_ = true;
+}
+
+void HostPerfCollector::charge(HostCat c) {
+  const Clock::time_point now = Clock::now();
+  ns_by_[static_cast<std::size_t>(c)] += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_).count());
+  last_ = now;
+}
+
+void HostPerfCollector::push(HostCat c) {
+  if (!running_) return;  // construction-time scopes (before run_begin)
+  charge(current());
+  stack_.push_back(c);
+}
+
+void HostPerfCollector::pop() {
+  if (!running_ || stack_.empty()) return;
+  charge(stack_.back());
+  stack_.pop_back();
+}
+
+void HostPerfCollector::before_event(Cycle t, std::size_t pending) {
+  if (pending > peak_) peak_ = pending;
+  last_pending_ = pending;
+  // One sample per elapsed boundary: a quiet stretch (no events for many
+  // intervals) still contributes one sample per interval, carrying the
+  // depth the queue held across it.
+  while (t >= next_boundary_) {
+    depth_.add(static_cast<Cycle>(pending));
+    next_boundary_ += interval_;
+  }
+}
+
+HostPerfReport HostPerfCollector::report() const {
+  HostPerfReport r;
+  r.on = true;
+  r.ns_by = ns_by_;
+  for (std::uint64_t ns : ns_by_) r.host_ns += ns;
+  r.frames = frames_;
+  r.queue_depth = depth_;
+  r.queue_peak = peak_;
+  r.queue_sample_interval = interval_;
+  return r;
+}
+
+} // namespace ccsim::obs

@@ -2,6 +2,7 @@
 // controller behind a single network sink.
 #pragma once
 
+#include "obs/host_perf.hpp"
 #include "proto/protocol.hpp"
 
 #include <memory>
@@ -13,9 +14,12 @@ public:
   Node(Protocol p, NodeId id, ProtocolContext& ctx, std::size_t cache_bytes,
        std::size_t wb_entries, mem::MemTimings timings)
       : cache_ctrl_(make_cache_controller(p, id, ctx, cache_bytes, wb_entries)),
-        home_ctrl_(make_home_controller(p, id, ctx, timings)) {}
+        home_ctrl_(make_home_controller(p, id, ctx, timings)),
+        host_(ctx.host) {}
 
   void deliver(const net::Message& msg) override {
+    // Host telemetry: everything below is protocol-handler work.
+    obs::ScopedHostCat t(host_, obs::HostCat::Protocol);
     if (is_home_bound(msg.type))
       home_ctrl_->on_message(msg);
     else
@@ -28,6 +32,7 @@ public:
 private:
   std::unique_ptr<CacheController> cache_ctrl_;
   std::unique_ptr<HomeController> home_ctrl_;
+  obs::HostPerfCollector* host_;  ///< null unless host metrics are on
 };
 
 } // namespace ccsim::proto

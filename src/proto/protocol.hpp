@@ -22,6 +22,7 @@
 
 namespace ccsim::obs {
 class CycleLedger;
+class HostPerfCollector;
 class HotBlockTable;
 class InvariantChecker;
 }
@@ -73,6 +74,10 @@ struct ProtocolContext {
   /// Engines notify it synchronously at transition points; it never
   /// schedules events, so timing is unchanged whether or not it is set.
   obs::InvariantChecker* checker = nullptr;
+  /// Optional host-performance telemetry (obs/host_perf.hpp). Pure
+  /// host-side observer: nodes attribute their message-handling host time
+  /// to it; simulated results are identical with or without it.
+  obs::HostPerfCollector* host = nullptr;
   Consistency consistency = Consistency::Release;
   /// Hybrid machines: protocol for blocks whose domain id is 0.
   Protocol hybrid_default = Protocol::WI;

@@ -49,6 +49,10 @@ public:
   /// Total number of events executed so far (for kernel micro-benchmarks).
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Total number of events ever scheduled (== closure allocations; the
+  /// host-telemetry layer reports it as an allocation stream).
+  [[nodiscard]] std::uint64_t scheduled() const noexcept { return next_seq_; }
+
 private:
   struct Event {
     Cycle t;

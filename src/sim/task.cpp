@@ -1,3 +1,9 @@
-// task.hpp is header-only; this translation unit exists so the build exposes
-// a place for future out-of-line definitions and keeps one TU per module.
+// task.hpp is mostly header-only; this translation unit holds the
+// thread-local frame-allocation counter the host-telemetry layer reads.
 #include "sim/task.hpp"
+
+namespace ccsim::sim::detail {
+
+thread_local std::uint64_t t_frames_allocated = 0;
+
+} // namespace ccsim::sim::detail

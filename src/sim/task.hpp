@@ -20,12 +20,33 @@
 
 namespace ccsim::sim {
 
+namespace detail {
+/// Coroutine frames allocated on this thread, ever. Thread-local because a
+/// Machine runs entirely on one thread: the host-telemetry layer reads a
+/// delta across Machine::run and gets a per-run count even when a parallel
+/// sweep runs many Machines at once (obs/host_perf.hpp).
+extern thread_local std::uint64_t t_frames_allocated;
+} // namespace detail
+
+/// Coroutine frames allocated by this thread so far.
+[[nodiscard]] inline std::uint64_t frames_allocated() noexcept {
+  return detail::t_frames_allocated;
+}
+
 class Task {
 public:
   struct promise_type;
   using Handle = std::coroutine_handle<promise_type>;
 
   struct promise_type {
+    // Frame allocations route through here so the host-telemetry layer can
+    // count them (one increment; no behavior change).
+    static void* operator new(std::size_t n) {
+      ++detail::t_frames_allocated;
+      return ::operator new(n);
+    }
+    static void operator delete(void* p) noexcept { ::operator delete(p); }
+
     std::coroutine_handle<> continuation;   ///< resumed when this task finishes
     std::function<void()> on_done;          ///< completion hook for root tasks
     std::exception_ptr exception;

@@ -77,4 +77,35 @@ void print_profile(std::ostream& os, const obs::ProfileSnapshot& p) {
   }
 }
 
+void print_host(std::ostream& os, const obs::HostPerfReport& h) {
+  if (!h.enabled()) return;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "host: %.1f ms, %.2f Mcyc/s, %.1f kev/s (%llu events, %llu cycles)\n",
+                h.ms(), h.cycles_per_sec() * 1e-6, h.events_per_sec() * 1e-3,
+                static_cast<unsigned long long>(h.events_executed),
+                static_cast<unsigned long long>(h.sim_cycles));
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  queue depth: %s peak=%llu (sampled every %llu cycles)\n",
+                h.queue_depth.summary().c_str(),
+                static_cast<unsigned long long>(h.queue_peak),
+                static_cast<unsigned long long>(h.queue_sample_interval));
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  alloc: %llu messages, %llu coroutine frames, %llu events scheduled\n",
+                static_cast<unsigned long long>(h.messages),
+                static_cast<unsigned long long>(h.frames),
+                static_cast<unsigned long long>(h.events_scheduled));
+  os << line;
+  os << "  host time:";
+  for (std::size_t i = 0; i < obs::kHostCats; ++i) {
+    const auto c = static_cast<obs::HostCat>(i);
+    std::snprintf(line, sizeof line, " %s=%.1f%%",
+                  std::string(obs::to_string(c)).c_str(), 100.0 * h.share(c));
+    os << line;
+  }
+  os << '\n';
+}
+
 } // namespace ccsim::stats

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "obs/cycle_accounting.hpp"
+#include "obs/host_perf.hpp"
 #include "stats/counters.hpp"
 
 #include <iosfwd>
@@ -18,5 +19,10 @@ void print_report(std::ostream& os, const Counters& c);
 /// one latency summary line per occupied (construct, phase) histogram.
 /// No-op when the snapshot is disabled.
 void print_profile(std::ostream& os, const obs::ProfileSnapshot& p);
+
+/// Print one run's host-performance telemetry: throughput, queue-depth
+/// summary, allocation counters and the subsystem host-time shares.
+/// No-op when the report is disabled.
+void print_host(std::ostream& os, const obs::HostPerfReport& h);
 
 } // namespace ccsim::stats

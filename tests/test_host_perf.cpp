@@ -1,0 +1,217 @@
+// Host-performance telemetry tests: collector accounting, deterministic
+// queue-depth sampling, the Machine-level report, JSON emission, and --
+// the load-bearing guarantee -- zero guest impact: simulated results are
+// identical with host metrics on or off.
+#include "harness/obs_session.hpp"
+#include "harness/workloads.hpp"
+#include "obs/host_perf.hpp"
+#include "stats/json.hpp"
+#include "stats/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+namespace {
+
+using namespace ccsim;
+
+TEST(HostPerfCollector, RejectsZeroSampleInterval) {
+  EXPECT_THROW(obs::HostPerfCollector c(0), std::invalid_argument);
+}
+
+TEST(HostPerfCollector, AttributionConservesHostTime) {
+  obs::HostPerfCollector c(1024);
+  c.run_begin();
+  {
+    obs::ScopedHostCat p(&c, obs::HostCat::Protocol);
+    { obs::ScopedHostCat n(&c, obs::HostCat::Network); }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  c.run_end();
+  const obs::HostPerfReport r = c.report();
+  EXPECT_TRUE(r.enabled());
+  std::uint64_t sum = 0;
+  for (std::uint64_t ns : r.ns_by) sum += ns;
+  EXPECT_EQ(sum, r.host_ns) << "exclusive scopes must conserve host_ns";
+  EXPECT_GT(r.host_ns, 0u);
+  // The sleep happened outside any scope: the base category got it.
+  EXPECT_GT(r.ns_by[static_cast<std::size_t>(obs::HostCat::EventLoop)], 0u);
+}
+
+TEST(HostPerfCollector, NullCollectorScopesAreNoOps) {
+  // The call-site convention: sites pass a possibly-null pointer.
+  obs::ScopedHostCat s(nullptr, obs::HostCat::Protocol);
+}
+
+TEST(HostPerfCollector, QueueSamplingIsDeterministicInSimTime) {
+  // Samples are cut at simulated-cycle boundaries, so two collectors fed
+  // the same (cycle, depth) series produce identical histograms even
+  // though their host-time readings differ.
+  auto feed = [](obs::HostPerfCollector& c) {
+    c.run_begin();
+    c.before_event(10, 3);     // before the first boundary: no sample
+    c.before_event(1100, 5);   // crosses 1024: one sample of depth 5
+    c.before_event(1500, 9);   // still inside [1024, 2048): no sample
+    c.before_event(4200, 2);   // crosses 2048, 3072, 4096: three samples
+    c.run_end();
+    return c.report();
+  };
+  obs::HostPerfCollector a(1024), b(1024);
+  const obs::HostPerfReport ra = feed(a), rb = feed(b);
+  EXPECT_EQ(ra.queue_depth.count(), 4u);
+  EXPECT_EQ(ra.queue_peak, 9u);
+  EXPECT_EQ(ra.queue_sample_interval, 1024u);
+  EXPECT_EQ(ra.queue_depth.count(), rb.queue_depth.count());
+  EXPECT_EQ(ra.queue_depth.min(), rb.queue_depth.min());
+  EXPECT_EQ(ra.queue_depth.max(), rb.queue_depth.max());
+  EXPECT_EQ(ra.queue_peak, rb.queue_peak);
+}
+
+TEST(HostPerfReport, MergeAddsCountersAndMaxesPeak) {
+  obs::HostPerfReport a;
+  a.on = true;
+  a.host_ns = 1000;
+  a.sim_cycles = 500;
+  a.events_executed = 10;
+  a.messages = 3;
+  a.queue_peak = 7;
+  obs::HostPerfReport b;
+  b.on = true;
+  b.host_ns = 2000;
+  b.sim_cycles = 700;
+  b.events_executed = 20;
+  b.messages = 4;
+  b.queue_peak = 5;
+  a.merge(b);
+  EXPECT_EQ(a.host_ns, 3000u);
+  EXPECT_EQ(a.sim_cycles, 1200u);
+  EXPECT_EQ(a.events_executed, 30u);
+  EXPECT_EQ(a.messages, 7u);
+  EXPECT_EQ(a.queue_peak, 7u);
+}
+
+harness::RunResult tiny_lock_run(bool host_metrics) {
+  harness::MachineConfig cfg;
+  cfg.nprocs = 4;
+  cfg.obs.host_metrics = host_metrics;
+  harness::LockParams p;
+  p.total_acquires = 64;
+  return harness::run_lock_experiment(cfg, harness::LockKind::Ticket, p);
+}
+
+TEST(HostPerfMachine, RealRunProducesAFullReport) {
+  const harness::RunResult r = tiny_lock_run(true);
+  const obs::HostPerfReport& h = r.host;
+  ASSERT_TRUE(h.enabled());
+  EXPECT_GT(h.host_ns, 0u);
+  EXPECT_GT(h.sim_cycles, 0u);
+  EXPECT_GT(h.events_executed, 0u);
+  EXPECT_GE(h.events_scheduled, h.events_executed);
+  EXPECT_GT(h.cycles_per_sec(), 0.0);
+  EXPECT_GT(h.events_per_sec(), 0.0);
+  EXPECT_GT(h.messages, 0u) << "a 4-proc lock loop sends protocol messages";
+  EXPECT_GT(h.frames, 0u) << "every program is at least one coroutine frame";
+  EXPECT_GT(h.queue_depth.count(), 0u);
+  EXPECT_GT(h.queue_peak, 0u);
+  // Protocol handlers and the network must both have been attributed.
+  EXPECT_GT(h.ns_by[static_cast<std::size_t>(obs::HostCat::Protocol)], 0u);
+  EXPECT_GT(h.ns_by[static_cast<std::size_t>(obs::HostCat::Network)], 0u);
+  // Shares sum to 1 (host_ns conservation, fraction form).
+  double shares = 0.0;
+  for (std::size_t i = 0; i < obs::kHostCats; ++i)
+    shares += h.share(static_cast<obs::HostCat>(i));
+  EXPECT_NEAR(shares, 1.0, 1e-9);
+}
+
+TEST(HostPerfMachine, HostMetricsNeverPerturbSimulatedResults) {
+  // The no-guest-perturbation rule, end to end: identical simulated
+  // cycles, latency metric and categorized counters with the collector
+  // attached or absent.
+  const harness::RunResult off = tiny_lock_run(false);
+  const harness::RunResult on = tiny_lock_run(true);
+  EXPECT_FALSE(off.host.enabled());
+  ASSERT_TRUE(on.host.enabled());
+  EXPECT_EQ(off.cycles, on.cycles);
+  EXPECT_DOUBLE_EQ(off.avg_latency, on.avg_latency);
+  EXPECT_EQ(stats::to_json(off.counters), stats::to_json(on.counters));
+}
+
+TEST(HostPerfMachine, ReportMatchesGuestCounters) {
+  const harness::RunResult r = tiny_lock_run(true);
+  EXPECT_EQ(r.host.sim_cycles, r.cycles);
+  EXPECT_EQ(r.host.messages, r.counters.net.messages + r.counters.net.local);
+}
+
+TEST(HostPerfJson, RunFieldsEmitHostSectionOnlyWhenEnabled) {
+  const harness::RunResult off = tiny_lock_run(false);
+  std::ostringstream a;
+  {
+    stats::JsonWriter w(a);
+    w.begin_object();
+    harness::write_run_fields(w, off);
+    w.end_object();
+  }
+  EXPECT_EQ(a.str().find("\"host\""), std::string::npos);
+
+  const harness::RunResult on = tiny_lock_run(true);
+  std::ostringstream b;
+  {
+    stats::JsonWriter w(b);
+    w.begin_object();
+    harness::write_run_fields(w, on);
+    w.end_object();
+  }
+  const stats::JsonValue doc = stats::parse_json(b.str());
+  const stats::JsonValue& host = doc.at("host");
+  EXPECT_EQ(host.at("schema").integer, obs::HostPerfReport::kSchema);
+  EXPECT_GT(host.at("ms").number, 0.0);
+  EXPECT_GT(host.at("cycles_per_sec").number, 0.0);
+  EXPECT_GT(host.at("events_per_sec").number, 0.0);
+  EXPECT_GT(host.at("queue").at("peak").integer, 0u);
+  EXPECT_GT(host.at("alloc").at("messages").integer, 0u);
+  EXPECT_GT(host.at("alloc").at("frames").integer, 0u);
+  const stats::JsonValue& sub = host.at("subsystems");
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : sub.object) sum += v.integer;
+  std::uint64_t ns = 0;
+  for (std::uint64_t x : on.host.ns_by) ns += x;
+  EXPECT_EQ(sum, ns) << "serialized subsystem ns must conserve host_ns";
+}
+
+TEST(HostPerfJson, StrippingHostSectionRestoresByteIdentity) {
+  // The byte-identity contract: the ONLY difference between a document
+  // written with host metrics and one without is the opt-in "host"
+  // object; everything simulated serializes identically.
+  const harness::RunResult off = tiny_lock_run(false);
+  const harness::RunResult on = tiny_lock_run(true);
+  harness::RunResult stripped = on;
+  stripped.host = obs::HostPerfReport{};
+  std::ostringstream a, b;
+  {
+    stats::JsonWriter w(a);
+    w.begin_object();
+    harness::write_run_fields(w, off);
+    w.end_object();
+  }
+  {
+    stats::JsonWriter w(b);
+    w.begin_object();
+    harness::write_run_fields(w, stripped);
+    w.end_object();
+  }
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(HostPerfReport, PrintHostIsNoOpWhenDisabled) {
+  std::ostringstream os;
+  stats::print_host(os, obs::HostPerfReport{});
+  EXPECT_TRUE(os.str().empty());
+  const harness::RunResult r = tiny_lock_run(true);
+  stats::print_host(os, r.host);
+  EXPECT_NE(os.str().find("Mcyc/s"), std::string::npos);
+  EXPECT_NE(os.str().find("queue depth"), std::string::npos);
+}
+
+} // namespace

@@ -34,6 +34,59 @@ TEST(JsonWriter, EscapesStrings) {
   EXPECT_EQ(os.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
 }
 
+TEST(JsonEscape, NamedControlCharacters) {
+  EXPECT_EQ(stats::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(stats::json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(stats::json_escape("a\tb"), "a\\tb");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(stats::json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(stats::json_escape("C:\\tmp\\x"), "C:\\\\tmp\\\\x");
+  // A backslash followed by a letter must not collapse into an escape.
+  EXPECT_EQ(stats::json_escape("\\n"), "\\\\n");
+}
+
+TEST(JsonEscape, UnnamedControlCharactersUseUnicodeEscapes) {
+  // Everything below 0x20 without a short form gets \u00XX -- including
+  // NUL, which must not truncate the string.
+  EXPECT_EQ(stats::json_escape(std::string_view("\0", 1)), "\\u0000");
+  EXPECT_EQ(stats::json_escape("\x01"), "\\u0001");
+  EXPECT_EQ(stats::json_escape("\b"), "\\u0008");
+  EXPECT_EQ(stats::json_escape("\f"), "\\u000c");
+  EXPECT_EQ(stats::json_escape("\x1f"), "\\u001f");
+}
+
+TEST(JsonEscape, NonAsciiBytesPassThroughUntouched) {
+  // UTF-8 payloads (bytes >= 0x80) are legal inside JSON strings and must
+  // not be mangled even where char is signed.
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x86\x92 \xf0\x9f\x94\x92";
+  EXPECT_EQ(stats::json_escape(utf8), utf8);
+}
+
+TEST(JsonEscape, EscapedStringsRoundTripThroughOurParser) {
+  const std::string nasty =
+      std::string("line1\nli\"ne2\\\t\x01\x1f caf\xc3\xa9") +
+      std::string("\0!", 2);
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  w.begin_object();
+  w.key("s").value(nasty);
+  w.end_object();
+  const stats::JsonValue v = stats::parse_json(os.str());
+  EXPECT_EQ(v.at("s").string, nasty);
+}
+
+TEST(JsonEscape, KeysAreEscapedLikeValues) {
+  std::ostringstream os;
+  stats::JsonWriter w(os);
+  w.begin_object();
+  w.key("we\"ird\nkey").value(std::uint64_t{1});
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"we\\\"ird\\nkey\":1}");
+  EXPECT_EQ(stats::parse_json(os.str()).at("we\"ird\nkey").integer, 1u);
+}
+
 TEST(JsonWriter, RawSplicesVerbatim) {
   std::ostringstream os;
   stats::JsonWriter w(os);

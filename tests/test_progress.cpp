@@ -1,0 +1,109 @@
+// ProgressReporter tests: pinned line format, TTY gating, throttling, and
+// the erase-on-finish contract (a --progress line must never contaminate
+// piped output).
+#include "harness/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using ccsim::harness::ProgressReporter;
+
+TEST(ProgressFormat, PlainCountsAndPercent) {
+  EXPECT_EQ(ProgressReporter::format_line("cells", 12, 60, 0.0),
+            "cells: 12/60 (20.0%)");
+}
+
+TEST(ProgressFormat, RateAndEtaWhenElapsed) {
+  // 5 done in 2s -> 2.5/s; 5 left -> ETA 2s.
+  EXPECT_EQ(ProgressReporter::format_line("cells", 5, 10, 2.0),
+            "cells: 5/10 (50.0%) 2.5/s ETA 2s");
+}
+
+TEST(ProgressFormat, ZeroDoneOmitsRate) {
+  // No completions yet: a rate would be 0/elapsed = meaningless noise.
+  EXPECT_EQ(ProgressReporter::format_line("cells", 0, 10, 5.0),
+            "cells: 0/10 (0.0%)");
+}
+
+TEST(ProgressFormat, ZeroTotalReadsAsComplete) {
+  EXPECT_EQ(ProgressReporter::format_line("runs", 0, 0, 0.0),
+            "runs: 0/0 (100.0%)");
+}
+
+TEST(ProgressFormat, CompleteRunHasZeroEta) {
+  EXPECT_EQ(ProgressReporter::format_line("cells", 10, 10, 2.0),
+            "cells: 10/10 (100.0%) 5.0/s ETA 0s");
+}
+
+TEST(ProgressReporterTest, InactiveWithoutTerminalUnlessForced) {
+  // Under ctest stderr is a pipe, so the unforced reporter must be inert;
+  // guard on the actual TTY state so a developer running the binary by
+  // hand in a terminal does not see a spurious failure.
+  if (ProgressReporter::stderr_is_tty()) GTEST_SKIP() << "stderr is a tty";
+  std::ostringstream os;
+  ProgressReporter r(os, 10);
+  EXPECT_FALSE(r.active());
+  r.update(3);
+  r.update(10);
+  r.finish();
+  EXPECT_TRUE(os.str().empty()) << "inactive reporter must write nothing";
+}
+
+TEST(ProgressReporterTest, ForcedReporterPaintsAndFinishErases) {
+  std::ostringstream os;
+  ProgressReporter::Options o;
+  o.force = true;
+  o.min_interval_ms = 0;
+  ProgressReporter r(os, 3, o);
+  EXPECT_TRUE(r.active());
+  r.update(1);
+  const std::string painted = os.str();
+  EXPECT_NE(painted.find('\r'), std::string::npos);
+  EXPECT_NE(painted.find("cells: 1/3"), std::string::npos);
+  r.finish();
+  EXPECT_NE(os.str().find("\r\033[K"), std::string::npos)
+      << "finish() must erase the line before normal output resumes";
+}
+
+TEST(ProgressReporterTest, ThrottleSuppressesRapidRepaints) {
+  std::ostringstream os;
+  ProgressReporter::Options o;
+  o.force = true;
+  o.min_interval_ms = 60000;  // nothing mid-run can beat this throttle
+  ProgressReporter r(os, 3, o);
+  r.update(1);
+  const std::size_t after_first = os.str().size();
+  EXPECT_GT(after_first, 0u) << "the first update always paints";
+  r.update(2);
+  EXPECT_EQ(os.str().size(), after_first) << "throttled update must not paint";
+  r.update(3);
+  EXPECT_GT(os.str().size(), after_first) << "the final update always paints";
+}
+
+TEST(ProgressReporterTest, FinishIsIdempotentAndStopsUpdates) {
+  std::ostringstream os;
+  ProgressReporter::Options o;
+  o.force = true;
+  ProgressReporter r(os, 5, o);
+  r.update(5);
+  r.finish();
+  const std::string done = os.str();
+  r.finish();
+  r.update(5);
+  EXPECT_EQ(os.str(), done);
+}
+
+TEST(ProgressReporterTest, CustomLabelAppearsInLine) {
+  std::ostringstream os;
+  ProgressReporter::Options o;
+  o.force = true;
+  o.label = "runs";
+  ProgressReporter r(os, 4, o);
+  r.update(4);
+  EXPECT_NE(os.str().find("runs: 4/4"), std::string::npos);
+}
+
+} // namespace

@@ -148,6 +148,111 @@ TEST(Trajectory, AddedBenchmarksAreInformational) {
   EXPECT_EQ(r.added[0], "fig08/tk/WI/p32");
 }
 
+TrajectoryEntry host_entry(std::string name, double avg, double cps) {
+  TrajectoryEntry e = entry(std::move(name), avg);
+  e.has_host = true;
+  e.host_ms = 12.5;
+  e.cycles_per_sec = cps;
+  e.events_per_sec = cps / 3.0;
+  return e;
+}
+
+TrajectoryDoc host_doc() {
+  TrajectoryDoc d;
+  d.bench = "ppopp97";
+  d.entries.push_back(host_entry("fig08/tk/WI/p16", 250.0, 40e6));
+  d.entries.push_back(host_entry("fig11/cb/PU/p16", 1800.5, 25e6));
+  return d;
+}
+
+TEST(Trajectory, HostFieldsRoundTrip) {
+  const TrajectoryDoc d = host_doc();
+  std::stringstream ss;
+  harness::write_trajectory(ss, d);
+  const TrajectoryDoc r = harness::read_trajectory(ss);
+  ASSERT_EQ(r.entries.size(), 2u);
+  for (std::size_t i = 0; i < r.entries.size(); ++i) {
+    EXPECT_TRUE(r.entries[i].has_host);
+    // The writer emits doubles at %.6g; throughput survives to 6
+    // significant digits, which is far finer than the percent-level gate.
+    EXPECT_NEAR(r.entries[i].host_ms, d.entries[i].host_ms,
+                d.entries[i].host_ms * 1e-5);
+    EXPECT_NEAR(r.entries[i].cycles_per_sec, d.entries[i].cycles_per_sec,
+                d.entries[i].cycles_per_sec * 1e-5);
+    EXPECT_NEAR(r.entries[i].events_per_sec, d.entries[i].events_per_sec,
+                d.entries[i].events_per_sec * 1e-5);
+  }
+}
+
+TEST(Trajectory, TwentyPercentThroughputDropFailsTheGate) {
+  const TrajectoryDoc base = host_doc();
+  TrajectoryDoc cand = host_doc();
+  cand.entries[0].cycles_per_sec *= 0.80;  // synthetic 20% throughput drop
+  const auto r = harness::compare_trajectories(base, cand, CompareOptions{});
+  EXPECT_FALSE(r.ok) << "a 20% throughput drop must fail the default 10% gate";
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_TRUE(r.rows[0].has_tput);
+  EXPECT_TRUE(r.rows[0].tput_regression);
+  EXPECT_NEAR(r.rows[0].tput_delta_pct, -20.0, 1e-9);
+  EXPECT_FALSE(r.rows[0].regression) << "latency did not move";
+  EXPECT_FALSE(r.rows[1].tput_regression);
+}
+
+TEST(Trajectory, TwentyPercentThroughputGainPasses) {
+  const TrajectoryDoc base = host_doc();
+  TrajectoryDoc cand = host_doc();
+  for (auto& e : cand.entries) e.cycles_per_sec *= 1.20;
+  const auto r = harness::compare_trajectories(base, cand, CompareOptions{});
+  EXPECT_TRUE(r.ok) << "throughput gains never fail the gate";
+  for (const auto& row : r.rows) {
+    EXPECT_TRUE(row.has_tput);
+    EXPECT_FALSE(row.tput_regression);
+  }
+}
+
+TEST(Trajectory, BaselineWithoutHostSectionComparesCleanly) {
+  // Old baselines (and the committed one) carry no host data: the
+  // throughput gate must not activate against them, in either direction.
+  TrajectoryDoc base;
+  base.bench = "ppopp97";
+  base.entries.push_back(entry("fig08/tk/WI/p16", 250.0));
+  base.entries.push_back(entry("fig11/cb/PU/p16", 1800.5));
+  const TrajectoryDoc cand = host_doc();  // candidate measured host
+
+  auto r = harness::compare_trajectories(base, cand, CompareOptions{});
+  EXPECT_TRUE(r.ok);
+  for (const auto& row : r.rows) EXPECT_FALSE(row.has_tput);
+
+  // And the mirror case: baseline has host data, candidate does not.
+  r = harness::compare_trajectories(cand, base, CompareOptions{});
+  EXPECT_TRUE(r.ok);
+  for (const auto& row : r.rows) EXPECT_FALSE(row.has_tput);
+}
+
+TEST(Trajectory, ThroughputThresholdIsConfigurable) {
+  const TrajectoryDoc base = host_doc();
+  TrajectoryDoc cand = host_doc();
+  cand.entries[1].cycles_per_sec *= 0.80;
+  CompareOptions loose;
+  loose.max_tput_drop_pct = 25.0;
+  EXPECT_TRUE(harness::compare_trajectories(base, cand, loose).ok);
+  CompareOptions tight;
+  tight.max_tput_drop_pct = 5.0;
+  EXPECT_FALSE(harness::compare_trajectories(base, cand, tight).ok);
+}
+
+TEST(Trajectory, PrintCompareNamesThroughputRegressions) {
+  const TrajectoryDoc base = host_doc();
+  TrajectoryDoc cand = host_doc();
+  cand.entries[0].cycles_per_sec *= 0.5;
+  const CompareOptions opt;
+  const auto r = harness::compare_trajectories(base, cand, opt);
+  std::stringstream ss;
+  harness::print_compare(ss, r, opt);
+  EXPECT_NE(ss.str().find("TPUT REGRESSION"), std::string::npos);
+  EXPECT_NE(ss.str().find("throughput drop"), std::string::npos);
+}
+
 TEST(Trajectory, PrintCompareNamesRegressions) {
   const TrajectoryDoc base = sample_doc();
   TrajectoryDoc cand = sample_doc();

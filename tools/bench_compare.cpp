@@ -1,6 +1,7 @@
 // bench_compare: diff two bench-trajectory documents and gate on regressions.
 //
 //   bench_compare BASELINE CANDIDATE [--max-regress=PCT] [--allow-missing]
+//                 [--max-tput-drop=PCT]
 //
 // Prints a per-benchmark table of the paper's latency metric (baseline,
 // candidate, delta) and exits nonzero when any benchmark's latency regresses
@@ -8,6 +9,13 @@
 // when a baseline benchmark is absent from the candidate. Speedups and new
 // benchmarks never fail the gate. CI runs this against the committed
 // BENCH_ppopp97.json baseline on every push.
+//
+// Gating is direction-aware: latency may not RISE past --max-regress, and
+// host simulator throughput (cycles/sec, recorded by run_trajectory
+// --host-metrics) may not FALL past --max-tput-drop (default 10). The
+// throughput gate applies only to entries where both documents carry a
+// "host" section; baselines written without --host-metrics (including the
+// committed one) compare on latency alone.
 #include "harness/trajectory.hpp"
 
 #include <cstdio>
@@ -41,12 +49,16 @@ int main(int argc, char** argv) {
         opt.max_regress_pct = std::atof(a.c_str() + 14);
         if (opt.max_regress_pct <= 0.0)
           throw std::invalid_argument("--max-regress must be > 0");
+      } else if (a.rfind("--max-tput-drop=", 0) == 0) {
+        opt.max_tput_drop_pct = std::atof(a.c_str() + 16);
+        if (opt.max_tput_drop_pct <= 0.0)
+          throw std::invalid_argument("--max-tput-drop must be > 0");
       } else if (a == "--allow-missing") {
         opt.require_all = false;
       } else if (a == "--help" || a == "-h") {
         std::printf(
             "usage: bench_compare BASELINE CANDIDATE"
-            " [--max-regress=PCT] [--allow-missing]\n");
+            " [--max-regress=PCT] [--allow-missing] [--max-tput-drop=PCT]\n");
         return 0;
       } else if (!a.empty() && a[0] == '-') {
         throw std::invalid_argument("unknown argument: " + a);

@@ -3,7 +3,8 @@
 //   ccstress [--protocols WI,PU,CU] [--seeds N | --seed-list a,b,...]
 //            [--jitters 0,3,17] [--procs 16] [--segments 6] [--ops 48]
 //            [--blocks 16] [--watchdog N] [--max-cycles N] [--jobs N]
-//            [--no-check] [--inject-hang] [--out FILE]
+//            [--no-check] [--inject-hang] [--host-metrics] [--out FILE]
+//            [--progress] [--quiet]
 //
 // Fans a grid of (protocol x seed x network-jitter) stress cells through
 // the parallel sweep engine. Every cell runs the segment-structured random
@@ -17,11 +18,18 @@
 // --inject-hang appends one deliberately hung cell (a spin nobody
 // satisfies) so CI can assert the watchdog path end to end.
 //
+// --host-metrics adds the opt-in per-cell "host" section (host ms,
+// throughput, queue stats; docs/schema.md) -- host readings vary run to
+// run, so documents with it are not byte-comparable. --progress paints a
+// live cells-done/rate/ETA line on stderr (only when stderr is a TTY;
+// --quiet suppresses it and the final summary line).
+//
 // Exit codes: 0 = every cell passed; 1 = some cell failed another way;
 // 2 = usage error; 3 = a cell tripped the deadlock/livelock watchdog;
 // 4 = a cell violated a coherence invariant. Invariant beats deadlock
 // beats other when cells disagree.
 #include "harness/obs_session.hpp"
+#include "harness/progress.hpp"
 #include "harness/stress.hpp"
 #include "harness/sweep.hpp"
 #include "sim/rng.hpp"
@@ -55,6 +63,9 @@ struct Options {
   unsigned jobs = 1;
   bool check = true;
   bool inject_hang = false;
+  bool host_metrics = false;
+  bool progress = false;
+  bool quiet = false;
   std::string out = "-";
 };
 
@@ -111,7 +122,8 @@ void usage() {
       "                [--jitters 0,3,17] [--procs N] [--segments N] [--ops "
       "N]\n"
       "                [--blocks N] [--watchdog CYCLES] [--max-cycles N]\n"
-      "                [--jobs N] [--no-check] [--inject-hang] [--out FILE]\n"
+      "                [--jobs N] [--no-check] [--inject-hang] [--host-metrics]\n"
+      "                [--out FILE] [--progress] [--quiet]\n"
       "exit codes: 0 ok, 1 other failure, 2 usage, 3 watchdog/deadlock,\n"
       "            4 invariant violation\n");
 }
@@ -159,6 +171,12 @@ Options parse_args(int argc, char** argv) {
       o.check = false;
     } else if (a == "--inject-hang") {
       o.inject_hang = true;
+    } else if (a == "--host-metrics") {
+      o.host_metrics = true;
+    } else if (a == "--progress") {
+      o.progress = true;
+    } else if (a == "--quiet") {
+      o.quiet = true;
     } else if (take_value("--out", argc, argv, i, v)) {
       o.out = v;
     } else if (a == "--help" || a == "-h") {
@@ -181,6 +199,7 @@ harness::MachineConfig stress_machine(const Options& o, proto::Protocol proto,
   cfg.max_cycles = o.max_cycles;
   cfg.watchdog_stall_cycles = o.watchdog;
   cfg.obs.check_invariants = o.check;
+  cfg.obs.host_metrics = o.host_metrics;
   cfg.net.jitter_max = jitter;
   // Each cell draws its own jitter stream; tied to the cell seed so one
   // seed replays the cell exactly, including the perturbation.
@@ -306,7 +325,14 @@ int main(int argc, char** argv) {
     const std::vector<harness::SweepJob> jobs = build_grid(o);
     harness::SweepOptions so;
     so.jobs = o.jobs;
+    harness::ProgressReporter reporter(std::cerr, jobs.size());
+    if (o.progress && !o.quiet)
+      so.progress = [&reporter](std::size_t done, std::size_t total) {
+        (void)total;
+        reporter.update(done);
+      };
     const std::vector<harness::SweepResult> results = harness::run_sweep(jobs, so);
+    reporter.finish();
 
     bool any_deadlock = false, any_invariant = false, any_other = false;
     for (const harness::SweepResult& r : results) {
@@ -327,8 +353,9 @@ int main(int argc, char** argv) {
       std::ofstream os(o.out);
       if (!os) throw std::runtime_error("cannot open output file: " + o.out);
       write_doc(os, o, results);
-      std::fprintf(stderr, "wrote %zu cell(s) to %s\n", results.size(),
-                   o.out.c_str());
+      if (!o.quiet)
+        std::fprintf(stderr, "wrote %zu cell(s) to %s\n", results.size(),
+                     o.out.c_str());
     }
     if (any_invariant) return 4;
     if (any_deadlock) return 3;

@@ -5,7 +5,8 @@
 //           [--locks tk,MCS,uc] [--barriers cb,db,tb,ct]
 //           [--reductions sr,pr] [--procs 8,16,32] [--cu-threshold 2,4,8]
 //           [--seeds 0x5eed,7] [--scale=X | --paper] [--jobs N]
-//           [--profile] [--max-cycles N] [--out FILE]
+//           [--profile] [--host-metrics] [--max-cycles N] [--out FILE]
+//           [--progress] [--quiet]
 //
 // Every flag accepts `--flag value` and `--flag=value`. The grid is the
 // cross product of the lists; --cu-threshold multiplies only CU cells
@@ -22,7 +23,14 @@
 // cell without aborting the sweep -- and a merged summary (counts,
 // failed cell names, best cell per construct family). Exits 0 when every
 // cell succeeded, 1 otherwise, 2 on usage errors.
+//
+// --host-metrics adds the opt-in per-cell "host" section (host ms,
+// throughput, queue stats; docs/schema.md) -- host readings vary run to
+// run, so documents with it are not byte-comparable. --progress paints a
+// live cells-done/rate/ETA line on stderr (only when stderr is a TTY;
+// --quiet suppresses it and the final summary line).
 #include "harness/obs_session.hpp"
+#include "harness/progress.hpp"
 #include "harness/sweep.hpp"
 #include "stats/json.hpp"
 
@@ -62,6 +70,9 @@ struct Options {
   double scale = 0.02;
   unsigned jobs = 1;
   bool profile = false;
+  bool host_metrics = false;
+  bool progress = false;
+  bool quiet = false;
   Cycle max_cycles = 0;  ///< 0 = MachineConfig's default backstop
   std::string out = "-";
 };
@@ -173,7 +184,8 @@ void usage() {
       "               [--reductions sr,pr] [--procs a,b,...]\n"
       "               [--cu-threshold a,b,...] [--seeds a,b,...]\n"
       "               [--scale=X | --paper] [--jobs N] [--profile]\n"
-      "               [--max-cycles N] [--out FILE]\n");
+      "               [--host-metrics] [--max-cycles N] [--out FILE]\n"
+      "               [--progress] [--quiet]\n");
 }
 
 Options parse_args(int argc, char** argv) {
@@ -225,6 +237,12 @@ Options parse_args(int argc, char** argv) {
       o.jobs = static_cast<unsigned>(parse_u64(v, "--jobs"));
     } else if (a == "--profile") {
       o.profile = true;
+    } else if (a == "--host-metrics") {
+      o.host_metrics = true;
+    } else if (a == "--progress") {
+      o.progress = true;
+    } else if (a == "--quiet") {
+      o.quiet = true;
     } else if (take_value("--max-cycles", argc, argv, i, v)) {
       o.max_cycles = parse_u64(v, "--max-cycles");
       if (o.max_cycles == 0)
@@ -254,6 +272,7 @@ harness::MachineConfig machine(const Options& o, proto::Protocol proto,
   cfg.nprocs = p;
   cfg.cu_threshold = cu_threshold;
   cfg.obs.profile = o.profile;
+  cfg.obs.host_metrics = o.host_metrics;
   if (o.max_cycles != 0) cfg.max_cycles = o.max_cycles;
   return cfg;
 }
@@ -449,7 +468,14 @@ int main(int argc, char** argv) {
     const std::vector<harness::SweepJob> jobs = build_grid(o);
     harness::SweepOptions so;
     so.jobs = o.jobs;
+    harness::ProgressReporter reporter(std::cerr, jobs.size());
+    if (o.progress && !o.quiet)
+      so.progress = [&reporter](std::size_t done, std::size_t total) {
+        (void)total;
+        reporter.update(done);
+      };
     const std::vector<harness::SweepResult> results = harness::run_sweep(jobs, so);
+    reporter.finish();
 
     std::size_t failed = 0;
     for (const harness::SweepResult& r : results)
@@ -465,8 +491,9 @@ int main(int argc, char** argv) {
       std::ofstream os(o.out);
       if (!os) throw std::runtime_error("cannot open output file: " + o.out);
       write_doc(os, o, jobs, results);
-      std::fprintf(stderr, "wrote %zu cell(s) to %s (%zu failed)\n",
-                   results.size(), o.out.c_str(), failed);
+      if (!o.quiet)
+        std::fprintf(stderr, "wrote %zu cell(s) to %s (%zu failed)\n",
+                     results.size(), o.out.c_str(), failed);
     }
     return failed == 0 ? 0 : 1;
   } catch (const std::exception& e) {
