@@ -10,9 +10,12 @@
 // committed BENCH_ppopp97.json baseline.
 //
 //   run_trajectory [--out=FILE] [--scale=X] [--procs=a,b] [--paper]
-//                  [--jobs=N] [--host-metrics]
+//                  [--jobs=N] [--host-metrics] [--progress] [--quiet]
 //
 // Defaults: --out=BENCH_ppopp97.json, --scale=0.02, --procs=16, --jobs=1.
+// --progress paints a live stderr cell counter (TTY only; progress is
+// presentation, not data, so the written document is unaffected) and
+// --quiet suppresses the final "wrote N benchmarks" confirmation.
 // --host-metrics additionally records per-entry host throughput (ms,
 // cycles/sec, events/sec) so bench_compare can gate simulator-throughput
 // drops; host readings are wall-clock, so a --host-metrics document is NOT
@@ -23,10 +26,12 @@
 // regenerated at full parallelism); a given tree always produces the
 // same bytes and the baseline can be compared exactly.
 #include "bench_common.hpp"
+#include "harness/progress.hpp"
 #include "harness/sweep.hpp"
 #include "harness/trajectory.hpp"
 
 #include <fstream>
+#include <iostream>
 
 using namespace ccbench;
 
@@ -114,11 +119,17 @@ std::vector<harness::SweepJob> suite_jobs(const harness::BenchOptions& opts) {
   return jobs;
 }
 
-harness::TrajectoryDoc run_suite(const harness::BenchOptions& opts) {
+harness::TrajectoryDoc run_suite(const harness::BenchOptions& opts, bool progress) {
   harness::SweepOptions so;
   so.jobs = opts.jobs;
   const std::vector<harness::SweepJob> jobs = suite_jobs(opts);
+  harness::ProgressReporter reporter(std::cerr, jobs.size());
+  if (progress)
+    so.progress = [&reporter](std::size_t done, std::size_t) {
+      reporter.update(done);
+    };
   const std::vector<harness::SweepResult> results = harness::run_sweep(jobs, so);
+  reporter.finish();
 
   harness::TrajectoryDoc doc;
   doc.bench = "ppopp97";
@@ -144,6 +155,8 @@ harness::TrajectoryDoc run_suite(const harness::BenchOptions& opts) {
 int main(int argc, char** argv) {
   try {
     std::string out = "BENCH_ppopp97.json";
+    bool progress = false;
+    bool quiet = false;
     harness::BenchOptions opts;
     opts.scale = 0.02;
     opts.procs = {16};
@@ -165,6 +178,10 @@ int main(int argc, char** argv) {
         opts.jobs = static_cast<unsigned>(n);
       } else if (a == "--host-metrics") {
         opts.obs.host_metrics = true;
+      } else if (a == "--progress") {
+        progress = true;
+      } else if (a == "--quiet") {
+        quiet = true;
       } else if (a.rfind("--procs=", 0) == 0) {
         std::vector<unsigned> procs;
         std::string list = a.substr(8);
@@ -186,15 +203,16 @@ int main(int argc, char** argv) {
     if (opts.scale <= 0.0 || opts.scale > 1.0)
       throw std::invalid_argument("scale must be in (0, 1]");
 
-    const harness::TrajectoryDoc doc = run_suite(opts);
+    const harness::TrajectoryDoc doc = run_suite(opts, progress && !quiet);
     if (out == "-") {
       harness::write_trajectory(std::cout, doc);
     } else {
       std::ofstream os(out);
       if (!os) throw std::runtime_error("cannot open output file: " + out);
       harness::write_trajectory(os, doc);
-      std::cout << "wrote " << doc.entries.size() << " benchmarks to " << out
-                << "\n";
+      if (!quiet)
+        std::cout << "wrote " << doc.entries.size() << " benchmarks to " << out
+                  << "\n";
     }
     return 0;
   } catch (const std::exception& e) {

@@ -64,6 +64,8 @@ bool parse_obs_arg(ObsOptions& o, int argc, char** argv, int& i) {
     o.profile = true;
   } else if (std::strcmp(argv[i], "--host-metrics") == 0) {
     o.host_metrics = true;
+  } else if (std::strcmp(argv[i], "--sharing") == 0) {
+    o.sharing = true;
   } else {
     return false;
   }

@@ -27,6 +27,11 @@
 //                         host-time attribution, printed per run and added
 //                         as a "host" section to --json output. Never
 //                         changes simulated results.
+//   --sharing             per-block sharing-pattern classification and
+//                         protocol advice: taxonomy table and projected
+//                         WI/PU/CU costs, printed per run and added as a
+//                         "sharing" section to --json output. Never
+//                         changes simulated results.
 // Each obs flag accepts both `--flag value` and `--flag=value`.
 // The REPRO_SCALE environment variable, if set, provides the default scale.
 #pragma once
@@ -49,9 +54,10 @@ struct ObsOptions {
   std::size_t hot_top_k = 16; ///< --hot-top
   bool profile = false;       ///< --profile (cycle accounting)
   bool host_metrics = false;  ///< --host-metrics (host telemetry)
+  bool sharing = false;       ///< --sharing (sharing-pattern classifier)
   [[nodiscard]] bool any() const noexcept {
     return !json_path.empty() || !trace_path.empty() || sample_interval != 0 ||
-           profile || host_metrics;
+           profile || host_metrics || sharing;
   }
 };
 

@@ -1,7 +1,5 @@
 #include "harness/figure.hpp"
 
-#include <algorithm>
-#include <cstdio>
 #include <ostream>
 
 namespace ccsim::harness {
@@ -11,47 +9,20 @@ Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
 std::string Table::num(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
-  return buf;
+  return stats::Table::num(v, precision);
 }
 
-std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(std::uint64_t v) { return stats::Table::num(v); }
 
-void Table::print(std::ostream& os) const {
-  std::vector<std::size_t> width(headers_.size());
-  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
-  for (const auto& r : rows_)
-    for (std::size_t i = 0; i < r.size() && i < width.size(); ++i)
-      width[i] = std::max(width[i], r[i].size());
-
-  const auto line = [&](const std::vector<std::string>& cells) {
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      os << (i == 0 ? "" : "  ");
-      // left-align the first column (series name), right-align numbers
-      if (i == 0)
-        os << cells[i] << std::string(width[i] - cells[i].size(), ' ');
-      else
-        os << std::string(width[i] - cells[i].size(), ' ') << cells[i];
-    }
-    os << '\n';
-  };
-  line(headers_);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < headers_.size(); ++i) total += width[i] + 2;
-  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
-  for (const auto& r : rows_) line(r);
+stats::Table Table::build() const {
+  stats::Table t = stats::Table::figure(headers_);
+  for (const auto& r : rows_) t.add_row(r);
+  return t;
 }
 
-void Table::print_csv(std::ostream& os) const {
-  const auto line = [&](const std::vector<std::string>& cells) {
-    for (std::size_t i = 0; i < cells.size(); ++i)
-      os << (i == 0 ? "" : ",") << cells[i];
-    os << '\n';
-  };
-  line(headers_);
-  for (const auto& r : rows_) line(r);
-}
+void Table::print(std::ostream& os) const { build().print(os); }
+
+void Table::print_csv(std::ostream& os) const { build().print_csv(os); }
 
 const std::vector<unsigned>& paper_proc_counts() {
   static const std::vector<unsigned> ps{1, 2, 4, 8, 16, 32};

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "stats/counters.hpp"
+#include "stats/table.hpp"
 
 #include <iosfwd>
 #include <string>
@@ -10,7 +11,8 @@
 namespace ccsim::harness {
 
 /// Fixed-width text table, printed in the style of the paper's figures
-/// (one series per row, one machine size / category per column).
+/// (one series per row, one machine size / category per column). Thin
+/// wrapper over stats::Table::figure, kept so the benches read unchanged.
 class Table {
 public:
   explicit Table(std::vector<std::string> headers);
@@ -23,6 +25,8 @@ public:
   static std::string num(std::uint64_t v);
 
 private:
+  [[nodiscard]] stats::Table build() const;
+
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };

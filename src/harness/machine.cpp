@@ -25,6 +25,9 @@ Machine::Machine(MachineConfig cfg)
       host_(cfg.obs.host_metrics ? std::make_unique<obs::HostPerfCollector>(
                                        cfg.obs.host_queue_sample)
                                  : nullptr),
+      sharing_(cfg.obs.sharing ? std::make_unique<obs::SharingTracker>(
+                                     cfg.nprocs, cfg.cu_threshold)
+                               : nullptr),
       ctx_{q_,
            net_,
            alloc_,
@@ -38,6 +41,7 @@ Machine::Machine(MachineConfig cfg)
            ledger_.get(),
            checker_.get(),
            host_.get(),
+           sharing_.get(),
            cfg.consistency,
            cfg.hybrid_default} {
   if (checker_ && cfg_.protocol == proto::Protocol::Hybrid)
@@ -136,6 +140,10 @@ Cycle Machine::run(const std::vector<Program>& programs) {
     obs::ScopedHostCat t(host_.get(), obs::HostCat::ObsHooks);
     checker_->final_audit();
   }
+  if (sharing_) {
+    obs::ScopedHostCat t(host_.get(), obs::HostCat::ObsHooks);
+    sharing_->finalize();
+  }
   updates_.finalize(q_.now());
   if (ledger_) ledger_->finalize(q_.now());
   if (sampler) {
@@ -204,6 +212,11 @@ obs::HostPerfReport Machine::host_report() const {
   return r;
 }
 
+obs::SharingReport Machine::sharing_report() const {
+  if (!sharing_) return {};
+  return sharing_->report(&alloc_);
+}
+
 obs::ProfileSnapshot Machine::profile() const {
   if (!ledger_) return {};
   obs::ProfileSnapshot s = ledger_->snapshot();
@@ -226,12 +239,13 @@ void Machine::poke(Addr addr, std::uint64_t value, std::size_t size) {
   const NodeId home = alloc_.home_of(b);
   mem::MemoryModule& m = nodes_[home]->home_ctrl().memory_for(b);
   m.write_word(addr, size, value);
+  const Addr base = addr - addr % mem::kWordSize;
   if (checker_) {
     // Record the full resulting word so sub-word pokes stay consistent
     // with the checker's whole-word shadow.
-    const Addr base = addr - addr % mem::kWordSize;
     checker_->on_poke(base, m.read_word(base, mem::kWordSize));
   }
+  if (sharing_) sharing_->on_poke(base);
 }
 
 void Machine::bind_protocol(Addr addr, std::size_t size, proto::Protocol p) {

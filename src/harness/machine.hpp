@@ -13,6 +13,7 @@
 #include "obs/hot_blocks.hpp"
 #include "obs/invariants.hpp"
 #include "obs/sampler.hpp"
+#include "obs/sharing.hpp"
 #include "obs/trace.hpp"
 #include "proto/hybrid.hpp"
 #include "proto/node.hpp"
@@ -72,6 +73,11 @@ struct ObsConfig {
   /// Simulated-cycle period at which the host collector samples event-queue
   /// depth. Cycle-based so the histogram is deterministic across hosts.
   Cycle host_queue_sample = 4096;
+  /// Classify per-block sharing patterns and advise a protocol
+  /// (obs/sharing.hpp). Pure observer: simulated cycles, counters and run
+  /// JSON (minus the opt-in "sharing" section) are byte-identical with it
+  /// on or off. Works under every protocol, Hybrid included.
+  bool sharing = false;
 };
 
 struct MachineConfig {
@@ -160,6 +166,10 @@ public:
   /// enabled() == false unless obs.host_metrics). Valid after run().
   [[nodiscard]] obs::HostPerfReport host_report() const;
 
+  /// The run's sharing-pattern report (default-constructed snapshot with
+  /// enabled() == false unless obs.sharing). Valid after run().
+  [[nodiscard]] obs::SharingReport sharing_report() const;
+
 private:
   [[nodiscard]] std::string diagnose(const std::string& what, unsigned remaining,
                                      std::size_t nprograms) const;
@@ -176,6 +186,7 @@ private:
   std::unique_ptr<obs::CycleLedger> ledger_;  ///< must precede ctx_
   std::unique_ptr<obs::InvariantChecker> checker_;  ///< must precede ctx_
   std::unique_ptr<obs::HostPerfCollector> host_;  ///< must precede ctx_
+  std::unique_ptr<obs::SharingTracker> sharing_;  ///< must precede ctx_
   proto::ProtocolContext ctx_;
   obs::IntervalSeries samples_;
   std::vector<std::unique_ptr<proto::Node>> nodes_;

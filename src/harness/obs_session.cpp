@@ -48,6 +48,7 @@ void ObsSession::configure(MachineConfig& cfg, std::string label) {
   cfg.obs.sink = sink_.get();
   cfg.obs.profile = opts_.profile;
   cfg.obs.host_metrics = opts_.host_metrics;
+  cfg.obs.sharing = opts_.sharing;
   if (sink_) sink_->begin_run(label_);
 }
 
@@ -55,6 +56,7 @@ void ObsSession::record(const RunResult& r) {
   if (sink_) {
     if (!r.samples.empty()) sink_->on_samples(r.samples);
     if (r.profile.enabled()) sink_->on_profile(r.profile);
+    if (r.sharing.enabled()) sink_->on_sharing(r.sharing);
   }
   if (opts_.profile && r.profile.enabled()) {
     std::cout << "[" << label_ << "]\n";
@@ -64,6 +66,11 @@ void ObsSession::record(const RunResult& r) {
   if (opts_.host_metrics && r.host.enabled()) {
     std::cout << "[" << label_ << "]\n";
     stats::print_host(std::cout, r.host);
+    std::cout << '\n';
+  }
+  if (opts_.sharing && r.sharing.enabled()) {
+    std::cout << "[" << label_ << "]\n";
+    stats::print_sharing(std::cout, r.sharing);
     std::cout << '\n';
   }
   if (!opts_.json_path.empty()) runs_.push_back({label_, r});
@@ -183,11 +190,98 @@ void write_run_fields(stats::JsonWriter& w, const RunResult& r) {
     w.end_object();
   }
 
+  if (r.sharing.enabled()) {
+    w.key("sharing").begin_object();
+    write_sharing_fields(w, r.sharing);
+    w.end_object();
+  }
+
   if (r.host.enabled()) {
     w.key("host").begin_object();
     write_host_fields(w, r.host);
     w.end_object();
   }
+}
+
+void write_sharing_fields(stats::JsonWriter& w, const obs::SharingReport& s) {
+  w.key("schema").value(obs::SharingReport::kSchema);
+  w.key("nprocs").value(static_cast<std::uint64_t>(s.nprocs));
+  w.key("recommended").value(std::string(proto::to_string(s.recommended)));
+  w.key("projected_cost").begin_object();
+  w.key("WI").value(s.total_wi);
+  w.key("PU").value(s.total_pu);
+  w.key("CU").value(s.total_cu);
+  w.end_object();
+  w.key("patterns").begin_object();
+  for (std::size_t i = 0; i < obs::kSharingPatterns; ++i) {
+    if (s.pattern_blocks[i] == 0) continue;
+    w.key(std::string(obs::to_string(static_cast<obs::SharingPattern>(i))))
+        .value(s.pattern_blocks[i]);
+  }
+  w.end_object();
+  w.key("blocks").begin_array();
+  for (const obs::SharingReport::Row& row : s.blocks) {
+    char addr[24];
+    std::snprintf(addr, sizeof addr, "0x%" PRIx64,
+                  static_cast<std::uint64_t>(row.base));
+    w.begin_object();
+    w.key("addr").value(addr);
+    if (!row.name.empty()) w.key("name").value(row.name);
+    w.key("pattern").value(std::string(obs::to_string(row.pattern)));
+    w.key("accessors").value(static_cast<std::uint64_t>(row.accessors));
+    w.key("readers").value(static_cast<std::uint64_t>(row.reader_count));
+    w.key("writers").value(static_cast<std::uint64_t>(row.writer_count));
+    w.key("reads").value(row.reads);
+    w.key("writes").value(row.writes);
+    w.key("intervals").value(row.intervals);
+    w.key("reader_episodes").value(row.reader_episodes);
+    w.key("avg_interval_readers").value(row.avg_interval_readers());
+    w.key("max_interval_readers").value(row.max_interval_readers);
+    w.key("runs").value(row.runs);
+    w.key("max_run").value(row.max_run);
+    w.key("handoffs").value(row.handoffs);
+    w.key("migratory_handoffs").value(row.migratory_handoffs);
+    w.key("invals_sent").value(row.invals_sent);
+    w.key("writable_grants").value(row.writable_grants);
+    w.key("updates").begin_object();
+    w.key("delivered").value(row.updates_delivered);
+    w.key("wasted").value(row.updates_wasted);
+    w.key("dropped").value(row.updates_dropped);
+    w.end_object();
+    w.key("replay").begin_object();
+    w.key("pu_updates").value(row.pu_updates);
+    w.key("cu_updates").value(row.cu_updates);
+    w.key("cu_refetches").value(row.cu_refetches);
+    w.end_object();
+    w.key("word_disjoint").value(row.word_disjoint);
+    w.key("cost").begin_object();
+    w.key("WI").value(row.cost_wi);
+    w.key("PU").value(row.cost_pu);
+    w.key("CU").value(row.cost_cu);
+    w.end_object();
+    w.key("best").value(std::string(proto::to_string(row.best)));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("allocs").begin_array();
+  for (const obs::SharingReport::Alloc& a : s.allocs) {
+    w.begin_object();
+    w.key("name").value(a.name);
+    w.key("blocks").value(static_cast<std::uint64_t>(a.blocks));
+    w.key("pattern").value(std::string(obs::to_string(a.pattern)));
+    w.key("reads").value(a.reads);
+    w.key("writes").value(a.writes);
+    w.key("invals_sent").value(a.invals_sent);
+    w.key("updates_wasted").value(a.updates_wasted);
+    w.key("cost").begin_object();
+    w.key("WI").value(a.cost_wi);
+    w.key("PU").value(a.cost_pu);
+    w.key("CU").value(a.cost_cu);
+    w.end_object();
+    w.key("best").value(std::string(proto::to_string(a.best)));
+    w.end_object();
+  }
+  w.end_array();
 }
 
 void write_host_fields(stats::JsonWriter& w, const obs::HostPerfReport& h) {

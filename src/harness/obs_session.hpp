@@ -69,6 +69,13 @@ void write_run_json(stats::JsonWriter& w, const std::string& label,
 /// (documented in docs/schema.md).
 void write_run_fields(stats::JsonWriter& w, const RunResult& r);
 
+/// Emit the body of the "sharing" section (schema, per-pattern block
+/// counts, per-block rows, per-allocation aggregates, projected WI/PU/CU
+/// costs and the recommended protocol) into the object currently open on
+/// `w`. Shared with tools/ccadvise. Schema in docs/schema.md; the section
+/// is opt-in and excluded from byte-identity comparisons.
+void write_sharing_fields(stats::JsonWriter& w, const obs::SharingReport& s);
+
 /// Emit the body of the "host" section (schema, throughput, queue stats,
 /// allocation counters, subsystem nanoseconds) into the object currently
 /// open on `w`. Shared with tools/ccperf. Schema in docs/schema.md; the

@@ -67,6 +67,7 @@ void capture_obs(RunResult& r, const Machine& m) {
   r.profile = m.profile();
   r.invariant_checks = m.invariant_checks();
   r.host = m.host_report();
+  r.sharing = m.sharing_report();
 }
 } // namespace
 

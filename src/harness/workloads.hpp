@@ -39,6 +39,9 @@ struct RunResult {
   /// Host-performance telemetry (enabled() == false unless
   /// obs.host_metrics). Never affects the simulated fields above.
   obs::HostPerfReport host;
+  /// Sharing-pattern classification and protocol advice (enabled() ==
+  /// false unless obs.sharing). Never affects the simulated fields above.
+  obs::SharingReport sharing;
 };
 
 /// Lock experiment (section 4.1): each processor acquires, holds for

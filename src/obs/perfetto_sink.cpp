@@ -71,8 +71,17 @@ void PerfettoSink::on_profile(const ProfileSnapshot& p) {
   profile_ = p;
 }
 
+void PerfettoSink::on_sharing(const SharingReport& r) {
+  if (pid_ == 0) {
+    pid_ = 1;
+    run_label_ = "run";
+  }
+  sharing_ = r;
+}
+
 void PerfettoSink::flush_run() {
-  if (pid_ == 0 || (buf_.empty() && samples_.empty() && !profile_.enabled())) {
+  if (pid_ == 0 || (buf_.empty() && samples_.empty() && !profile_.enabled() &&
+                    !sharing_.enabled())) {
     buf_.clear();
     return;
   }
@@ -173,9 +182,20 @@ void PerfettoSink::flush_run() {
     emit(rec);
   }
 
+  // The sharing taxonomy as one counter track per observed pattern: how
+  // many of the run's touched blocks each pattern covers.
+  for (std::size_t i = 0; i < kSharingPatterns; ++i) {
+    if (sharing_.pattern_blocks[i] == 0) continue;
+    emit("{\"name\":\"sharing/" +
+         std::string(to_string(static_cast<SharingPattern>(i))) +
+         "\",\"ph\":\"C\",\"pid\":" + u64(pid_) + ",\"ts\":0,\"args\":{\"blocks\":" +
+         u64(sharing_.pattern_blocks[i]) + "}}");
+  }
+
   buf_.clear();
   samples_ = {};
   profile_ = {};
+  sharing_ = {};
 }
 
 void PerfettoSink::finish() {

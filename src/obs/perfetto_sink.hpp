@@ -14,7 +14,9 @@
 //   - interval-sampled counter deltas become counter tracks ("ph":"C"):
 //     per-interval miss/update/network rates graphed under the run;
 //   - a cycle-accounting snapshot becomes one counter record per processor
-//     on its node track, stacking the run's category breakdown.
+//     on its node track, stacking the run's category breakdown;
+//   - a sharing report becomes one "sharing/<pattern>" counter track per
+//     observed pattern, graphing how many blocks each pattern covers.
 //
 // Simulated cycles map 1:1 to trace microseconds. Events are buffered per
 // run and sorted by timestamp before writing, so each track's `ts` sequence
@@ -23,6 +25,7 @@
 
 #include "obs/cycle_accounting.hpp"
 #include "obs/sampler.hpp"
+#include "obs/sharing.hpp"
 #include "obs/trace.hpp"
 
 #include <ostream>
@@ -39,6 +42,7 @@ public:
   void finish() override;
   void on_samples(const IntervalSeries& s) override;
   void on_profile(const ProfileSnapshot& p) override;
+  void on_sharing(const SharingReport& r) override;
 
 private:
   void flush_run();
@@ -48,6 +52,7 @@ private:
   std::vector<TraceEvent> buf_;
   IntervalSeries samples_;
   ProfileSnapshot profile_;
+  SharingReport sharing_;
   std::string run_label_;
   int pid_ = 0;
   bool first_record_ = true;

@@ -34,6 +34,7 @@ namespace ccsim::obs {
 
 struct IntervalSeries;   // obs/sampler.hpp
 struct ProfileSnapshot;  // obs/cycle_accounting.hpp
+struct SharingReport;    // obs/sharing.hpp
 
 /// Trace categories; enable any subset.
 enum class TraceCat : unsigned {
@@ -111,6 +112,8 @@ public:
   virtual void on_samples(const IntervalSeries& s) { (void)s; }
   /// The run's cycle-accounting snapshot.
   virtual void on_profile(const ProfileSnapshot& p) { (void)p; }
+  /// The run's sharing-pattern report.
+  virtual void on_sharing(const SharingReport& r) { (void)r; }
 };
 
 /// Formatted text lines streamed to an ostream (--trace-format ring).

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "obs/invariants.hpp"
+#include "obs/sharing.hpp"
 #include "proto/protocol.hpp"
 
 #include <cassert>
@@ -59,6 +60,7 @@ protected:
         if (ctx_.checker)
           ctx_.checker->on_read(id_, a,
                                 cache_.read(a - a % mem::kWordSize, mem::kWordSize));
+        if (ctx_.sharing) ctx_.sharing->on_read(id_, a);
         done(cache_.read(a, size));
       } else {
         --ctx_.counters.mem.shared_reads;  // recounted by the retry

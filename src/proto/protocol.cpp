@@ -106,6 +106,7 @@ void BaseCacheController::cpu_load(Addr a, std::size_t size, LoadCallback done) 
         if (ctx_.checker)
           ctx_.checker->on_read(id_, a,
                                 cache_.read(a - a % mem::kWordSize, mem::kWordSize));
+        if (ctx_.sharing) ctx_.sharing->on_read(id_, a);
         done(cache_.read(a, size));
       } else {
         // The line vanished during the hit latency (invalidation/drop):

@@ -25,6 +25,7 @@ class CycleLedger;
 class HostPerfCollector;
 class HotBlockTable;
 class InvariantChecker;
+class SharingTracker;
 }
 
 namespace ccsim::proto {
@@ -78,6 +79,11 @@ struct ProtocolContext {
   /// host-side observer: nodes attribute their message-handling host time
   /// to it; simulated results are identical with or without it.
   obs::HostPerfCollector* host = nullptr;
+  /// Optional sharing-pattern tracker (obs/sharing.hpp). Pure observer fed
+  /// at the same transition points as the checker plus the invalidation /
+  /// update-delivery sends; schedules no events, so simulated results are
+  /// byte-identical with or without it.
+  obs::SharingTracker* sharing = nullptr;
   Consistency consistency = Consistency::Release;
   /// Hybrid machines: protocol for blocks whose domain id is 0.
   Protocol hybrid_default = Protocol::WI;

@@ -1,6 +1,7 @@
 #include "proto/update_controllers.hpp"
 
 #include "obs/invariants.hpp"
+#include "obs/sharing.hpp"
 #include "sim/check.hpp"
 
 #include <cassert>
@@ -98,6 +99,7 @@ void UpdateCacheController::drain_head() {
       ctx_.checker->on_global_write(
           id_, e.addr,
           cache_.read(e.addr - e.addr % mem::kWordSize, mem::kWordSize));
+    if (ctx_.sharing) ctx_.sharing->on_global_write(id_, e.addr);
     entry_done();
     return;
   }
@@ -127,6 +129,7 @@ void UpdateCacheController::drain_head() {
     ctx_.checker->on_local_write(
         id_, e.addr,
         cache_.read(e.addr - e.addr % mem::kWordSize, mem::kWordSize));
+  if (ctx_.sharing) ctx_.sharing->on_local_write(id_, e.addr);
   Message m;
   m.type = MsgType::UpdateReq;
   m.dst = ctx_.alloc.home_of(b);
@@ -217,6 +220,9 @@ void UpdateCacheController::apply_update(const Message& msg) {
   if (!line) {
     // Stale update: we pruned or evicted the block while this message was
     // in flight. Still acknowledge so the writer's count settles.
+    if (ctx_.sharing)
+      ctx_.sharing->on_update_delivered(id_, msg.addr, msg.requester,
+                                        obs::SharingTracker::Delivery::Stale);
     send(ack);
     return;
   }
@@ -224,6 +230,9 @@ void UpdateCacheController::apply_update(const Message& msg) {
     // Competitive policy: this update trips the counter; self-invalidate
     // and ask the home to stop sending updates.
     ctx_.updates.on_drop_update(id_, msg.addr);
+    if (ctx_.sharing)
+      ctx_.sharing->on_update_delivered(id_, msg.addr, msg.requester,
+                                        obs::SharingTracker::Delivery::Dropped);
     ctx_.misses.on_dropped(id_, b);
     line->state = mem::LineState::Invalid;
     cache_.notify(b);
@@ -238,6 +247,9 @@ void UpdateCacheController::apply_update(const Message& msg) {
   }
   cache_.write(msg.addr, msg.payload2 ? msg.payload2 : mem::kWordSize, msg.payload);
   ctx_.updates.on_update_applied(id_, msg.addr);
+  if (ctx_.sharing)
+    ctx_.sharing->on_update_delivered(id_, msg.addr, msg.requester,
+                                      obs::SharingTracker::Delivery::Applied);
   // The value is already globally ordered (the home multicast it); record
   // the word image this copy now shows, which can differ transiently from
   // the home's under sub-word write interleavings.
@@ -284,6 +296,7 @@ void UpdateCacheController::on_message(const Message& msg) {
         if (mem::CacheLine* line = cache_.find(b)) {
           line->state = mem::LineState::PrivateDirty;
           if (ctx_.checker) ctx_.checker->on_writable(id_, b);
+          if (ctx_.sharing) ctx_.sharing->on_writable(id_, b);
         }
       }
       check_fences();

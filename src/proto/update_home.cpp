@@ -2,6 +2,7 @@
 
 #include "obs/hot_blocks.hpp"
 #include "obs/invariants.hpp"
+#include "obs/sharing.hpp"
 #include "sim/check.hpp"
 
 #include <cassert>
@@ -227,6 +228,7 @@ void UpdateHomeController::serve_update(const Message& msg) {
             msg.src, msg.addr,
             memory_.read_word(msg.addr - msg.addr % mem::kWordSize,
                               mem::kWordSize));
+      if (ctx_.sharing) ctx_.sharing->on_global_write(msg.src, msg.addr);
       Message g;
       g.type = MsgType::UpdateGrant;
       g.dst = msg.src;
@@ -248,6 +250,7 @@ void UpdateHomeController::serve_update(const Message& msg) {
     ctx_.checker->on_global_write(
         msg.src, msg.addr,
         memory_.read_word(msg.addr - msg.addr % mem::kWordSize, mem::kWordSize));
+  if (ctx_.sharing) ctx_.sharing->on_global_write(msg.src, msg.addr);
 
   if (enable_private_ && e.state == DirState::Update && e.only_sharer_is(msg.src)) {
     // Only the writer caches this block: tell it to retain future updates
@@ -308,10 +311,12 @@ void UpdateHomeController::serve_atomic(const Message& msg) {
       break;
   }
   if (ctx_.checker) ctx_.checker->on_read(msg.src, msg.addr, old);
+  if (ctx_.sharing) ctx_.sharing->on_read(msg.src, msg.addr);
   if (wrote) {
     memory_.write_word(msg.addr, mem::kWordSize, next);
     ctx_.misses.on_store(msg.src, msg.addr);
     if (ctx_.checker) ctx_.checker->on_global_write(msg.src, msg.addr, next);
+    if (ctx_.sharing) ctx_.sharing->on_global_write(msg.src, msg.addr);
   }
 
   // Atomically-accessed data follows the same coherence protocol as all

@@ -1,6 +1,7 @@
 #include "proto/wi_controllers.hpp"
 
 #include "obs/invariants.hpp"
+#include "obs/sharing.hpp"
 #include "sim/check.hpp"
 
 #include <cassert>
@@ -46,6 +47,7 @@ void WiCacheController::perform_store(const mem::WriteBufferEntry& e) {
     ctx_.checker->on_global_write(
         id_, e.addr,
         cache_.read(e.addr - e.addr % mem::kWordSize, mem::kWordSize));
+  if (ctx_.sharing) ctx_.sharing->on_global_write(id_, e.addr);
 }
 
 void WiCacheController::drain_head() {
@@ -112,12 +114,14 @@ void WiCacheController::do_atomic_local(net::AtomicOp op, Addr a, std::uint64_t 
                                         std::uint64_t v2, LoadCallback done) {
   const std::uint64_t old = cache_.read(a, mem::kWordSize);
   if (ctx_.checker) ctx_.checker->on_read(id_, a, old);
+  if (ctx_.sharing) ctx_.sharing->on_read(id_, a);
   bool wrote = false;
   const std::uint64_t next = apply_atomic(op, old, v1, v2, wrote);
   if (wrote) {
     cache_.write(a, mem::kWordSize, next);
     ctx_.misses.on_store(id_, a);
     if (ctx_.checker) ctx_.checker->on_global_write(id_, a, next);
+    if (ctx_.sharing) ctx_.sharing->on_global_write(id_, a);
   }
   ctx_.q.schedule(kAtomicCycles, [done = std::move(done), old] { done(old); });
 }
@@ -311,6 +315,7 @@ void WiCacheController::on_message(const Message& msg) {
       --outstanding_;
       fill(b, msg.block, mem::LineState::Modified);
       if (ctx_.checker) ctx_.checker->on_writable(id_, b);
+      if (ctx_.sharing) ctx_.sharing->on_writable(id_, b);
       Message fin;
       fin.type = MsgType::ExclDone;
       fin.dst = ctx_.alloc.home_of(b);
@@ -330,6 +335,7 @@ void WiCacheController::on_message(const Message& msg) {
                   static_cast<unsigned long long>(ctx_.q.now()));
       line->state = mem::LineState::Modified;
       if (ctx_.checker) ctx_.checker->on_writable(id_, b);
+      if (ctx_.sharing) ctx_.sharing->on_writable(id_, b);
       pending_acks_ += static_cast<std::int64_t>(msg.payload);
       --outstanding_;
       Message fin;

@@ -1,6 +1,7 @@
 #include "proto/wi_controllers.hpp"
 
 #include "obs/hot_blocks.hpp"
+#include "obs/sharing.hpp"
 #include "sim/check.hpp"
 
 #include <cassert>
@@ -114,6 +115,7 @@ void WiHomeController::serve_getx(mem::BlockAddr b, const Message& req) {
       inv.addr = req.addr;  // carries the triggering word for classification
       inv.requester = req.src;
       send_from(inv);
+      if (ctx_.sharing) ctx_.sharing->on_inval_sent(s, req.addr, req.src);
       ++acks;
     }
   }
@@ -160,6 +162,7 @@ void WiHomeController::dispatch(mem::BlockAddr b) {
           inv.addr = req.addr;
           inv.requester = req.src;
           send_from(inv);
+          if (ctx_.sharing) ctx_.sharing->on_inval_sent(s, req.addr, req.src);
           ++acks;
         }
         const Cycle ready =

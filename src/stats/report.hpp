@@ -4,8 +4,10 @@
 
 #include "obs/cycle_accounting.hpp"
 #include "obs/host_perf.hpp"
+#include "obs/sharing.hpp"
 #include "stats/counters.hpp"
 
+#include <cstddef>
 #include <iosfwd>
 
 namespace ccsim::stats {
@@ -24,5 +26,12 @@ void print_profile(std::ostream& os, const obs::ProfileSnapshot& p);
 /// summary, allocation counters and the subsystem host-time shares.
 /// No-op when the report is disabled.
 void print_host(std::ostream& os, const obs::HostPerfReport& h);
+
+/// Print one run's sharing-pattern report: the pattern census, the top
+/// `max_rows` blocks by activity, and the per-allocation aggregation with
+/// projected WI/PU/CU costs and the advised protocol.
+/// No-op when the report is disabled.
+void print_sharing(std::ostream& os, const obs::SharingReport& r,
+                   std::size_t max_rows = 16);
 
 } // namespace ccsim::stats

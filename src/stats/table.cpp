@@ -1,0 +1,87 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace ccsim::stats {
+
+Table::Table(std::vector<Column> columns, bool rule)
+    : cols_(std::move(columns)), rule_(rule) {}
+
+Table Table::figure(const std::vector<std::string>& headers) {
+  std::vector<Column> cols;
+  cols.reserve(headers.size());
+  for (std::size_t i = 0; i < headers.size(); ++i)
+    cols.push_back({headers[i], 0, i == 0, i == 0 ? "" : "  "});
+  return Table(std::move(cols), /*rule=*/true);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(cols_.size());
+  bool any_header = false;
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    any_header |= !cols_[i].header.empty();
+    width[i] = std::max<std::size_t>(cols_[i].width < 0 ? 0 : cols_[i].width,
+                                     cols_[i].header.size());
+    if (cols_[i].width == 0)
+      for (const auto& r : rows_)
+        if (i < r.size()) width[i] = std::max(width[i], r[i].size());
+  }
+
+  const auto line = [&](const std::vector<std::string>& cells) {
+    const std::size_t n = std::min(cells.size(), cols_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      os << cols_[i].gap;
+      const std::size_t pad =
+          cells[i].size() < width[i] ? width[i] - cells[i].size() : 0;
+      if (cols_[i].left) {
+        os << cells[i];
+        // No trailing whitespace: a left-aligned final cell ends the line.
+        if (i + 1 < n) os << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cells[i];
+      }
+    }
+    os << '\n';
+  };
+
+  std::vector<std::string> headers;
+  headers.reserve(cols_.size());
+  for (const Column& c : cols_) headers.push_back(c.header);
+  if (any_header) line(headers);
+  if (rule_) {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cols_.size(); ++i)
+      total += width[i] + cols_[i].gap.size();
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) line(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      os << (i == 0 ? "" : ",") << cells[i];
+    os << '\n';
+  };
+  std::vector<std::string> headers;
+  headers.reserve(cols_.size());
+  for (const Column& c : cols_) headers.push_back(c.header);
+  line(headers);
+  for (const auto& r : rows_) line(r);
+}
+
+} // namespace ccsim::stats

@@ -217,6 +217,70 @@ TEST(JsonReader, RoundTripsWriterOutput) {
   EXPECT_EQ(v.at("net").at("messages").integer, 7u);
 }
 
+TEST(JsonReader, UnicodeEscapesDecode) {
+  // \uXXXX escapes: ASCII, the control range our writer emits, and
+  // non-ASCII code points rendered as UTF-8.
+  const stats::JsonValue v = stats::parse_json(
+      R"({"s":"a\u0041\u000a\u001fb","e":"caf\u00e9","cjk":"\u4e2d"})");
+  EXPECT_EQ(v.at("s").string, std::string("aA\n\x1f") + "b");
+  EXPECT_EQ(v.at("e").string, "caf\xc3\xa9");
+  EXPECT_EQ(v.at("cjk").string, "\xe4\xb8\xad");
+  EXPECT_THROW((void)stats::parse_json(R"({"s":"\u12"})"), std::runtime_error);
+  EXPECT_THROW((void)stats::parse_json(R"({"s":"\uzzzz"})"), std::runtime_error);
+}
+
+TEST(JsonReader, NestedContainersRoundTripThroughWriter) {
+  // Writer -> reader round trip of a deeply nested document: arrays of
+  // objects of arrays, mixed scalar kinds, and awkward strings in both
+  // keys and values (quotes, backslashes, newlines, NUL).
+  std::ostringstream os;
+  {
+    stats::JsonWriter w(os);
+    w.begin_object();
+    w.key("matrix").begin_array();
+    for (int i = 0; i < 3; ++i) {
+      w.begin_array();
+      for (int j = 0; j < 3; ++j) w.value(static_cast<std::uint64_t>(i * 3 + j));
+      w.end_array();
+    }
+    w.end_array();
+    w.key("cells").begin_array();
+    w.begin_object()
+        .key("name")
+        .value("a\"b\\c")
+        .key("deep")
+        .begin_object()
+        .key("vals")
+        .begin_array()
+        .value(1.25)
+        .value(true)
+        .value(std::uint64_t{18446744073709551615ull})
+        .end_array()
+        .end_object()
+        .end_object();
+    w.end_array();
+    w.key("line\nbreak").value(std::string_view("nul\0byte", 8));
+    w.end_object();
+  }
+  const stats::JsonValue v = stats::parse_json(os.str());
+  ASSERT_EQ(v.at("matrix").array.size(), 3u);
+  EXPECT_EQ(v.at("matrix").array[2].array[1].integer, 7u);
+  const stats::JsonValue& cell = v.at("cells").array[0];
+  EXPECT_EQ(cell.at("name").string, "a\"b\\c");
+  const stats::JsonValue& vals = cell.at("deep").at("vals");
+  ASSERT_EQ(vals.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(vals.array[0].number, 1.25);
+  EXPECT_TRUE(vals.array[1].boolean);
+  EXPECT_EQ(vals.array[2].integer, 18446744073709551615ull);
+  EXPECT_EQ(v.at("line\nbreak").string, std::string("nul\0byte", 8));
+
+  // Parsing what the writer wrote and re-writing the scalars must not
+  // have lost anything: spot-check by re-parsing a second time.
+  const stats::JsonValue again = stats::parse_json(os.str());
+  EXPECT_EQ(again.at("matrix").array[0].array[0].integer,
+            v.at("matrix").array[0].array[0].integer);
+}
+
 TEST(CountersDelta, DeltaAndAccumulateAreInverse) {
   harness::MachineConfig cfg;
   cfg.nprocs = 4;

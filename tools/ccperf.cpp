@@ -24,6 +24,7 @@
 #include "harness/progress.hpp"
 #include "harness/sweep.hpp"
 #include "stats/json.hpp"
+#include "stats/table.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -148,37 +149,37 @@ std::vector<harness::SweepJob> build_matrix(const Options& o) {
 void print_table(std::ostream& os,
                  const std::vector<harness::SweepResult>& results,
                  const obs::HostPerfReport& total) {
-  char line[200];
-  std::snprintf(line, sizeof line,
-                "%-16s %9s %9s %8s %9s %6s %6s %5s  %s\n", "cell", "Mcyc",
-                "host ms", "Mcyc/s", "kev/s", "q.p50", "q.p99", "peak",
-                "loop/proto/net/obs %");
-  os << line;
+  using stats::Table;
+  Table t({{"cell", 16, true, ""},
+           {"Mcyc", 9, false, " "},
+           {"host ms", 9, false, " "},
+           {"Mcyc/s", 8, false, " "},
+           {"kev/s", 9, false, " "},
+           {"q.p50", 6, false, " "},
+           {"q.p99", 6, false, " "},
+           {"peak", 5, false, " "},
+           {"loop/proto/net/obs %", 0, true, "  "}});
   auto row = [&](const std::string& name, const obs::HostPerfReport& h) {
-    std::snprintf(
-        line, sizeof line,
-        "%-16s %9.2f %9.1f %8.2f %9.1f %6llu %6llu %5llu  %.0f/%.0f/%.0f/%.0f\n",
-        name.c_str(), static_cast<double>(h.sim_cycles) * 1e-6, h.ms(),
-        h.cycles_per_sec() * 1e-6, h.events_per_sec() * 1e-3,
-        static_cast<unsigned long long>(h.queue_depth.percentile(0.50)),
-        static_cast<unsigned long long>(h.queue_depth.percentile(0.99)),
-        static_cast<unsigned long long>(h.queue_peak),
-        100.0 * h.share(obs::HostCat::EventLoop),
-        100.0 * h.share(obs::HostCat::Protocol),
-        100.0 * h.share(obs::HostCat::Network),
-        100.0 * h.share(obs::HostCat::ObsHooks));
-    os << line;
+    t.add_row({name, Table::num(static_cast<double>(h.sim_cycles) * 1e-6, 2),
+               Table::num(h.ms()), Table::num(h.cycles_per_sec() * 1e-6, 2),
+               Table::num(h.events_per_sec() * 1e-3),
+               Table::num(h.queue_depth.percentile(0.50)),
+               Table::num(h.queue_depth.percentile(0.99)),
+               Table::num(h.queue_peak),
+               Table::num(100.0 * h.share(obs::HostCat::EventLoop), 0) + "/" +
+                   Table::num(100.0 * h.share(obs::HostCat::Protocol), 0) +
+                   "/" + Table::num(100.0 * h.share(obs::HostCat::Network), 0) +
+                   "/" + Table::num(100.0 * h.share(obs::HostCat::ObsHooks), 0)});
   };
   for (const harness::SweepResult& r : results) {
     if (!r.ok) {
-      std::snprintf(line, sizeof line, "%-16s FAILED: %s\n", r.name.c_str(),
-                    r.error.c_str());
-      os << line;
+      t.add_row({r.name, "FAILED: " + r.error});
       continue;
     }
     row(r.name, r.run.host);
   }
   row("TOTAL", total);
+  t.print(os);
 }
 
 void write_report(std::ostream& os, const Options& o,
